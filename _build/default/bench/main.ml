@@ -1,0 +1,177 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper (and every
+   extension experiment) and prints the same rows/series the paper
+   reports — this is the reproduction harness proper.
+
+   Part 2 is a Bechamel microbenchmark suite: one Test.make per
+   figure-generating workload (a reduced parameterization of the same
+   code path) plus the hot simulator primitives, so performance
+   regressions in the substrate are visible. *)
+
+let reproduce () =
+  Format.printf "=====================================================================@.";
+  Format.printf " Reproduction: Optimizing Buffer Management for Reliable Multicast@.";
+  Format.printf " (Xiao, Birman, van Renesse - DSN 2002)@.";
+  Format.printf "=====================================================================@.@.";
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      let report = e.Experiments.Registry.run ~quick:true in
+      Format.printf "%a@." Experiments.Report.pp report;
+      Format.printf "[%s | %s | %.1fs]@.@." e.Experiments.Registry.id
+        e.Experiments.Registry.paper_ref
+        (Unix.gettimeofday () -. t0))
+    Experiments.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_rng =
+  Bechamel.Test.make ~name:"engine/rng.bits64 x1k"
+    (Bechamel.Staged.stage (fun () ->
+         let rng = Engine.Rng.create ~seed:1 in
+         let acc = ref 0L in
+         for _ = 1 to 1000 do
+           acc := Int64.add !acc (Engine.Rng.bits64 rng)
+         done;
+         !acc))
+
+let bench_heap =
+  Bechamel.Test.make ~name:"engine/heap push+pop 1k"
+    (Bechamel.Staged.stage (fun () ->
+         let h = Engine.Heap.create ~compare_priority:Int.compare () in
+         for i = 0 to 999 do
+           Engine.Heap.push h ((i * 7919) mod 1000)
+         done;
+         let acc = ref 0 in
+         let rec drain () =
+           match Engine.Heap.pop h with
+           | Some x ->
+             acc := !acc + x;
+             drain ()
+           | None -> ()
+         in
+         drain ();
+         !acc))
+
+let bench_sim =
+  Bechamel.Test.make ~name:"engine/sim 1k timer cascade"
+    (Bechamel.Staged.stage (fun () ->
+         let sim = Engine.Sim.create () in
+         let count = ref 0 in
+         let rec tick () =
+           incr count;
+           if !count < 1000 then ignore (Engine.Sim.schedule sim ~delay:1.0 tick)
+         in
+         ignore (Engine.Sim.schedule sim ~delay:1.0 tick);
+         Engine.Sim.run sim;
+         !count))
+
+let bench_poisson =
+  Bechamel.Test.make ~name:"stats/poisson pmf k=0..20"
+    (Bechamel.Staged.stage (fun () ->
+         let acc = ref 0.0 in
+         for k = 0 to 20 do
+           acc := !acc +. Stats.Dist.poisson_pmf ~lambda:6.0 k
+         done;
+         !acc))
+
+(* one Test.make per figure: the same code path as the reproduction,
+   at a parameterization small enough to iterate *)
+
+let bench_fig3 =
+  Bechamel.Test.make ~name:"fig3 (coin-flip MC, 200 trials)"
+    (Bechamel.Staged.stage (fun () -> Experiments.Fig3.run ~mc_trials:200 ()))
+
+let bench_fig4 =
+  Bechamel.Test.make ~name:"fig4 (MC + 5 protocol runs/C)"
+    (Bechamel.Staged.stage (fun () ->
+         Experiments.Fig4.run ~mc_trials:1_000 ~protocol_trials:5 ()))
+
+let bench_fig6 =
+  Bechamel.Test.make ~name:"fig6 (1 trial/point)"
+    (Bechamel.Staged.stage (fun () -> Experiments.Fig6.run ~trials:1 ()))
+
+let bench_fig7 =
+  Bechamel.Test.make ~name:"fig7 (one sampled run)"
+    (Bechamel.Staged.stage (fun () -> Experiments.Fig7.run ()))
+
+let bench_fig8 =
+  Bechamel.Test.make ~name:"fig8 (3 trials/point)"
+    (Bechamel.Staged.stage (fun () -> Experiments.Fig8.run ~trials:3 ()))
+
+let bench_fig9 =
+  Bechamel.Test.make ~name:"fig9 (2 trials, 3 sizes)"
+    (Bechamel.Staged.stage (fun () ->
+         Experiments.Fig9.run ~trials:2 ~region_sizes:[ 100; 400; 1000 ] ()))
+
+let bench_delivery =
+  Bechamel.Test.make ~name:"rrmp/one lossless multicast, n=100"
+    (Bechamel.Staged.stage (fun () ->
+         let group =
+           Rrmp.Group.create ~seed:1 ~topology:(Topology.single_region ~size:100) ()
+         in
+         let id = Rrmp.Group.multicast group () in
+         Rrmp.Group.run group;
+         Rrmp.Group.count_received group id))
+
+let bench_recovery =
+  Bechamel.Test.make ~name:"rrmp/regional loss recovery, 2x20"
+    (Bechamel.Staged.stage (fun () ->
+         let topology = Topology.chain ~sizes:[ 20; 20 ] in
+         let group = Rrmp.Group.create ~seed:1 ~topology () in
+         let id =
+           Rrmp.Group.multicast_reaching group ~reach:(fun n -> Node_id.to_int n < 20) ()
+         in
+         List.iter
+           (fun m -> Rrmp.Member.inject_loss m id)
+           (Rrmp.Group.members_of_region group (Region_id.of_int 1));
+         Rrmp.Group.run group;
+         Rrmp.Group.count_received group id))
+
+let microbench () =
+  let open Bechamel in
+  let tests =
+    [
+      bench_rng;
+      bench_heap;
+      bench_sim;
+      bench_poisson;
+      bench_fig3;
+      bench_fig4;
+      bench_fig6;
+      bench_fig7;
+      bench_fig8;
+      bench_fig9;
+      bench_delivery;
+      bench_recovery;
+    ]
+  in
+  Format.printf "=====================================================================@.";
+  Format.printf " Bechamel microbenchmarks (monotonic clock per run)@.";
+  Format.printf "=====================================================================@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          with
+          | exception _ -> Format.printf "  %-40s (analysis failed)@." name
+          | result ->
+            (match Analyze.OLS.estimates result with
+             | Some [ est ] -> Format.printf "  %-40s %12.0f ns/run@." name est
+             | Some _ | None -> Format.printf "  %-40s (no estimate)@." name))
+        results)
+    tests
+
+let () =
+  reproduce ();
+  microbench ()

@@ -1,0 +1,179 @@
+(* Command-line driver for the reproduction: list experiments, run one
+   or all, emit CSV, or run an ad-hoc RRMP session. *)
+
+let print_report ?csv_dir report =
+  Format.printf "%a@." Experiments.Report.pp report;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Experiments.Report.save_csv ~dir report in
+    Format.printf "(csv written to %s)@." path
+
+(* --- list --------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List every reproducible figure and extension experiment." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Format.printf "%-22s %-34s %s@." e.Experiments.Registry.id
+          e.Experiments.Registry.paper_ref e.Experiments.Registry.description)
+      Experiments.Registry.all;
+    0
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "list" ~doc) Cmdliner.Term.(const run $ const ())
+
+(* --- run ---------------------------------------------------------- *)
+
+let quick_flag =
+  let doc = "Reduced trial counts (fast, CI-friendly)." in
+  Cmdliner.Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let csv_dir_opt =
+  let doc = "Also write each result table as CSV into $(docv)." in
+  Cmdliner.Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
+
+let run_cmd =
+  let doc = "Run one experiment (or 'all') and print its table." in
+  let id_arg =
+    let doc = "Experiment id (see $(b,list)), or 'all'." in
+    Cmdliner.Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"ID")
+  in
+  let run id quick csv_dir =
+    let entries =
+      if id = "all" then Ok Experiments.Registry.all
+      else
+        match Experiments.Registry.find id with
+        | Some e -> Ok [ e ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown experiment %S; known: %s" id
+               (String.concat ", " ("all" :: Experiments.Registry.ids)))
+    in
+    match entries with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok entries ->
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          print_report ?csv_dir (e.Experiments.Registry.run ~quick))
+        entries;
+      0
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
+    Cmdliner.Term.(const run $ id_arg $ quick_flag $ csv_dir_opt)
+
+(* --- session ------------------------------------------------------ *)
+
+let session_cmd =
+  let doc =
+    "Run an ad-hoc RRMP session (regions joined in a chain) and print traffic and \
+     buffering statistics."
+  in
+  let regions_arg =
+    let doc = "Comma-separated region sizes, sender's region first." in
+    Cmdliner.Arg.(
+      value & opt (list ~sep:',' int) [ 50; 50 ] & info [ "regions" ] ~doc ~docv:"SIZES")
+  in
+  let messages_arg =
+    let doc = "Number of messages to multicast." in
+    Cmdliner.Arg.(value & opt int 20 & info [ "messages"; "m" ] ~doc ~docv:"N")
+  in
+  let loss_arg =
+    let doc = "Independent per-packet loss probability." in
+    Cmdliner.Arg.(value & opt float 0.1 & info [ "loss" ] ~doc ~docv:"P")
+  in
+  let seed_arg =
+    let doc = "Random seed." in
+    Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let c_arg =
+    let doc = "Expected long-term bufferers per region (C)." in
+    Cmdliner.Arg.(value & opt float 6.0 & info [ "bufferers"; "c" ] ~doc ~docv:"C")
+  in
+  let run regions messages loss seed c =
+    if List.exists (fun s -> s <= 0) regions || regions = [] then begin
+      prerr_endline "regions must be positive";
+      1
+    end
+    else begin
+      let topology = Topology.chain ~sizes:regions in
+      let config =
+        { Rrmp.Config.default with
+          Rrmp.Config.expected_bufferers = c;
+          Rrmp.Config.session_interval = Some 50.0;
+        }
+      in
+      let group =
+        Rrmp.Group.create ~seed ~config ~loss:(Loss.Bernoulli loss) ~topology ()
+      in
+      let ids = List.init messages (fun _ -> Rrmp.Group.multicast group ()) in
+      Rrmp.Group.run ~until:60_000.0 group;
+      let n = Topology.node_count topology in
+      let complete =
+        List.fold_left (fun acc id -> acc + Rrmp.Group.count_received group id) 0 ids
+      in
+      Format.printf "session: %d members in %d regions, %d messages, loss %.0f%%@." n
+        (List.length regions) messages (100.0 *. loss);
+      Format.printf "delivered: %d/%d (%.2f%%)@." complete (messages * n)
+        (100.0 *. float_of_int complete /. float_of_int (messages * n));
+      Format.printf "still buffered at end: %d entries across the group@."
+        (Rrmp.Group.total_buffered_messages group);
+      let net = Rrmp.Group.net group in
+      Format.printf "traffic by class:@.";
+      List.iter
+        (fun cls ->
+          let s = Netsim.Network.stats net ~cls in
+          Format.printf "  %-16s sent %7d  delivered %7d  lost %6d  dead %4d@." cls
+            s.Netsim.Network.sent s.Netsim.Network.delivered s.Netsim.Network.dropped_loss
+            s.Netsim.Network.dropped_dead)
+        (Netsim.Network.classes net);
+      0
+    end
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "session" ~doc)
+    Cmdliner.Term.(const run $ regions_arg $ messages_arg $ loss_arg $ seed_arg $ c_arg)
+
+(* --- model --------------------------------------------------------- *)
+
+let model_cmd =
+  let doc =
+    "Print the analytical search-time model (expected time for a remote request to      locate a long-term bufferer) for a range of bufferer counts."
+  in
+  let region_arg =
+    let doc = "Region size." in
+    Cmdliner.Arg.(value & opt int 100 & info [ "region"; "n" ] ~doc ~docv:"N")
+  in
+  let rtt_arg =
+    let doc = "Intra-region round-trip time, ms." in
+    Cmdliner.Arg.(value & opt float 10.0 & info [ "rtt" ] ~doc ~docv:"MS")
+  in
+  let run region rtt =
+    if region < 2 then begin
+      prerr_endline "region must have at least 2 members";
+      1
+    end
+    else begin
+      Format.printf "expected search time, region of %d members, RTT %.1f ms:@." region rtt;
+      Format.printf "%12s  %18s  %14s@." "#bufferers" "E[search] (ms)" "P(direct hit)";
+      List.iter
+        (fun k ->
+          if k < region then
+            Format.printf "%12d  %18.2f  %13.1f%%@." k
+              (Rrmp.Model.expected_search_time ~n:region ~k ~rtt)
+              (100.0 *. float_of_int k /. float_of_int region))
+        [ 1; 2; 3; 4; 5; 6; 8; 10; 15; 20 ];
+      0
+    end
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info "model" ~doc)
+    Cmdliner.Term.(const run $ region_arg $ rtt_arg)
+
+let () =
+  let doc = "Reproduction of 'Optimizing Buffer Management for Reliable Multicast' (DSN 2002)" in
+  let info = Cmdliner.Cmd.info "rrmp_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmdliner.Cmd.eval'
+       (Cmdliner.Cmd.group info [ list_cmd; run_cmd; session_cmd; model_cmd ]))

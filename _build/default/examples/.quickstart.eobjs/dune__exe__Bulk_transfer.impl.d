@@ -1,0 +1,1 @@
+examples/bulk_transfer.ml: Baselines Engine Format List Region_id Rrmp Topology

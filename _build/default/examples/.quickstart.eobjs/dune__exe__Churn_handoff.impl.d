@@ -1,0 +1,1 @@
+examples/churn_handoff.ml: Array Engine Format List Node_id Region_id Rrmp Seq String Topology

@@ -1,0 +1,1 @@
+examples/failure_detection.ml: Engine Format List Netsim Node_id Rrmp Topology

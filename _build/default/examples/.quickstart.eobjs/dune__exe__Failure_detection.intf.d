@@ -1,0 +1,1 @@
+examples/failure_detection.mli:

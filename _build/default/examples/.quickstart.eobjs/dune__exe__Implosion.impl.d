@@ -1,0 +1,1 @@
+examples/implosion.ml: Baselines Engine Float Format List Netsim Region_id Rrmp Topology

@@ -1,0 +1,1 @@
+examples/wide_area.ml: Engine Format Hashtbl List Netsim Node_id Option Region_id Rrmp Topology

@@ -1,0 +1,1 @@
+examples/wide_area.mli:

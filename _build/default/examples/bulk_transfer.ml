@@ -1,0 +1,64 @@
+(* Bulk transfer: the scenario the paper's introduction motivates.
+   RMTP-style tree protocols were designed for multicast file transfer
+   and buffer the whole file at the repair server; RRMP's two-phase
+   policy keeps only what is still needed. We push a 200-message "file"
+   through both and compare where the bytes sit.
+
+   Run with: dune exec examples/bulk_transfer.exe
+*)
+
+let messages = 200
+
+let spacing = 10.0 (* ms between data packets *)
+
+let reach_prob = 0.9 (* each receiver gets each packet with p = 0.9 *)
+
+let schedule_stream sim send =
+  for i = 0 to messages - 1 do
+    ignore (Engine.Sim.schedule_at sim ~at:(float_of_int i *. spacing) send)
+  done
+
+let () =
+  let region = 50 in
+
+  (* --- RRMP ------------------------------------------------------- *)
+  let rrmp_group = Rrmp.Group.create ~seed:5 ~topology:(Topology.single_region ~size:region) () in
+  let rng1 = Engine.Rng.create ~seed:77 in
+  schedule_stream (Rrmp.Group.sim rrmp_group) (fun () ->
+      ignore
+        (Rrmp.Group.multicast_reaching rrmp_group
+           ~reach:(fun _ -> Engine.Rng.bernoulli rng1 ~p:reach_prob)
+           ()));
+  Rrmp.Group.run ~until:10_000.0 rrmp_group;
+  let rrmp_peak =
+    List.fold_left
+      (fun acc m -> max acc (Rrmp.Buffer.peak_bytes (Rrmp.Member.buffer m)))
+      0
+      (Rrmp.Group.members rrmp_group)
+  in
+  let rrmp_end = Rrmp.Group.total_buffered_messages rrmp_group in
+
+  (* --- tree-based baseline ---------------------------------------- *)
+  let tree =
+    Baselines.Tree_rmtp.create ~seed:5 ~topology:(Topology.single_region ~size:region) ()
+  in
+  let rng2 = Engine.Rng.create ~seed:77 in
+  schedule_stream (Baselines.Tree_rmtp.sim tree) (fun () ->
+      ignore
+        (Baselines.Tree_rmtp.multicast_reaching tree
+           ~reach:(fun _ -> Engine.Rng.bernoulli rng2 ~p:reach_prob)
+           ()));
+  Baselines.Tree_rmtp.run ~until:10_000.0 tree;
+  let server = Baselines.Tree_rmtp.repair_server tree (Region_id.of_int 0) in
+  let server_peak = Rrmp.Buffer.peak_bytes (Baselines.Tree_rmtp.buffer_of tree server) in
+
+  Format.printf "bulk transfer of %d x 1KiB messages into a %d-member region:@.@." messages
+    region;
+  Format.printf "  tree baseline: the repair server alone peaked at %d KiB (the whole file)@."
+    (server_peak / 1024);
+  Format.printf "  rrmp:          the busiest member peaked at %d KiB@." (rrmp_peak / 1024);
+  Format.printf "  rrmp:          %d long-term entries remain group-wide at the end@."
+    rrmp_end;
+  Format.printf "@.the factor between the two peaks (%.1fx) is the paper's point:@."
+    (float_of_int server_peak /. float_of_int (max rrmp_peak 1));
+  Format.printf "two-phase buffering keeps per-member state small and short-lived@."

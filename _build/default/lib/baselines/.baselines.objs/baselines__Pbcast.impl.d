@@ -1,0 +1,1 @@
+lib/baselines/pbcast.ml: Array Engine Fun Latency List Loss Netsim Node_id Protocol Rrmp Seq Topology

@@ -1,0 +1,1 @@
+lib/baselines/pbcast.mli: Engine Latency Loss Node_id Protocol Rrmp Topology

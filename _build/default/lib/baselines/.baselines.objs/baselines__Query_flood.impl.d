@@ -1,0 +1,1 @@
+lib/baselines/query_flood.ml: Array Engine Float Latency Loss Netsim Node_id Region_id Topology

@@ -1,0 +1,1 @@
+lib/baselines/query_flood.mli: Latency

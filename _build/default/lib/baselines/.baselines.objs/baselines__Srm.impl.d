@@ -1,0 +1,1 @@
+lib/baselines/srm.ml: Array Engine Float Latency List Loss Netsim Node_id Option Protocol Rrmp Stats Topology

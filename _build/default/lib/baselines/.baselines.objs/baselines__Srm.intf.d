@@ -1,0 +1,1 @@
+lib/baselines/srm.mli: Engine Latency Loss Node_id Protocol Rrmp Topology

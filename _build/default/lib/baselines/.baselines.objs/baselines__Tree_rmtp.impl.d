@@ -1,0 +1,1 @@
+lib/baselines/tree_rmtp.ml: Array Engine Latency List Loss Netsim Node_id Option Protocol Rrmp Topology

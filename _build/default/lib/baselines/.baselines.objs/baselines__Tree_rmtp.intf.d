@@ -1,0 +1,1 @@
+lib/baselines/tree_rmtp.mli: Engine Latency Loss Netsim Node_id Protocol Region_id Rrmp Topology

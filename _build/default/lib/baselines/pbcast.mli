@@ -1,0 +1,53 @@
+(** A scoped Bimodal-Multicast-style protocol (Birman et al., TOCS
+    1999) — the anti-entropy ancestor RRMP grew out of, with the simple
+    buffering policy the paper explicitly improves on ("the Bimodal
+    Multicast protocol uses a simple buffering policy in which each
+    member buffers messages for a fixed amount of time").
+
+    Mechanics implemented:
+    - best-effort data multicast;
+    - every [gossip_interval], each member sends a digest of its
+      reception history to [fanout] uniformly random members;
+    - a member receiving a digest solicits (pulls) the messages the
+      gossiper has that it lacks; the gossiper retransmits those still
+      in its buffer;
+    - every member buffers every message for a {e fixed} [buffer_for]
+      ms, then discards. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?latency:Latency.t ->
+  ?loss:Loss.model ->
+  ?gossip_interval:float ->
+  ?fanout:int ->
+  ?buffer_for:float ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** Defaults: gossip every 10 ms to 1 random member, buffer for
+    200 ms. *)
+
+val sim : t -> Engine.Sim.t
+
+val multicast : t -> ?size:int -> unit -> Protocol.Msg_id.t
+
+val multicast_reaching :
+  t -> ?size:int -> reach:(Node_id.t -> bool) -> unit -> Protocol.Msg_id.t
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val stop_gossip : t -> unit
+(** Stop every member's gossip ticker (lets the simulation quiesce). *)
+
+val count_received : t -> Protocol.Msg_id.t -> int
+
+val received_by_all : t -> Protocol.Msg_id.t -> bool
+
+val members : t -> Node_id.t list
+
+val buffer_of : t -> Node_id.t -> Rrmp.Buffer.t
+
+val control_packets : t -> int
+(** Digest + solicit + retransmit packets sent so far. *)

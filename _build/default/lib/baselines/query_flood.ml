@@ -1,0 +1,71 @@
+module Network = Netsim.Network
+module Sim = Engine.Sim
+
+type outcome = { replies : int; first_reply_at : float }
+
+type wire = Query | Reply
+
+type state = {
+  is_bufferer : bool;
+  mutable reply_handle : Sim.handle option;
+  mutable heard_reply : bool;
+}
+
+let run_once ~region ~bufferers ~backoff_window ?(latency = Latency.paper_default) ~seed () =
+  if bufferers <= 0 || bufferers > region then
+    invalid_arg "Query_flood.run_once: bufferers out of range";
+  let topology = Topology.single_region ~size:region in
+  let sim = Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let loss = Loss.create Loss.Lossless ~rng:(Engine.Rng.split rng) in
+  let net = Network.create ~sim ~topology ~latency ~loss ~rng:(Engine.Rng.split rng) () in
+  let nodes = Topology.members topology (Region_id.of_int 0) in
+  let chosen = Engine.Rng.sample_without_replacement rng bufferers nodes in
+  let replies = ref 0 in
+  let first_reply_at = ref Float.infinity in
+  let states = Node_id.Table.create region in
+  let region0 = Region_id.of_int 0 in
+  Array.iter
+    (fun node ->
+      let state =
+        {
+          is_bufferer = Array.exists (Node_id.equal node) chosen;
+          reply_handle = None;
+          heard_reply = false;
+        }
+      in
+      Node_id.Table.add states node state;
+      Network.register net node (fun delivery ->
+          match delivery.Network.msg with
+          | Query ->
+            (* a bufferer arms its randomized back-off on seeing the query *)
+            if state.is_bufferer && not state.heard_reply && state.reply_handle = None
+            then begin
+              let delay = Engine.Rng.float rng backoff_window in
+              state.reply_handle <-
+                Some
+                  (Sim.schedule sim ~delay (fun () ->
+                       state.reply_handle <- None;
+                       if not state.heard_reply then begin
+                         incr replies;
+                         first_reply_at := Float.min !first_reply_at (Sim.now sim);
+                         Network.regional_multicast net ~cls:"reply" ~src:node
+                           ~region:region0 Reply
+                       end))
+            end
+          | Reply ->
+            state.heard_reply <- true;
+            (match state.reply_handle with
+             | Some handle ->
+               Sim.cancel handle;
+               state.reply_handle <- None
+             | None -> ())))
+    nodes;
+  (* the query arrives from outside the region at a random member, which
+     multicasts it regionally (including to itself logically: it sees
+     the query too) *)
+  let entry = Engine.Rng.pick rng nodes in
+  Network.regional_multicast net ~cls:"query" ~src:entry ~region:region0 ~include_src:true
+    Query;
+  Sim.run sim;
+  { replies = !replies; first_reply_at = !first_reply_at }

@@ -1,0 +1,32 @@
+(** The bufferer-location alternative the paper rejects in Section 3.3:
+    multicast the request in the region and have bufferers answer after
+    a randomized back-off, suppressing their reply when another copy is
+    heard first.
+
+    The paper observed that sizing the back-off window by [C] leads to
+    reply storms whenever a message is still buffered at many more
+    members than [C] (it has gone idle at some but not all members).
+    This module simulates exactly that mechanism so the ablation
+    experiment can count duplicate replies and compare against the
+    random search. *)
+
+type outcome = {
+  replies : int;  (** regional reply multicasts actually sent *)
+  first_reply_at : float;
+      (** ms from the query multicast to the first reply multicast
+          (latency of locating a bufferer) *)
+}
+
+val run_once :
+  region:int ->
+  bufferers:int ->
+  backoff_window:float ->
+  ?latency:Latency.t ->
+  seed:int ->
+  unit ->
+  outcome
+(** One region of [region] members of which [bufferers] hold the
+    message; a query is multicast at t = 0; each bufferer schedules its
+    reply uniformly in [\[0, backoff_window)] and suppresses it if a
+    reply from someone else arrives first.
+    @raise Invalid_argument if [bufferers] is 0 or exceeds [region]. *)

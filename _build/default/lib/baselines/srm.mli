@@ -1,0 +1,68 @@
+(** A scoped implementation of SRM-style error recovery (Floyd,
+    Jacobson, McCanne, Liu & Zhang, SIGCOMM 1995) — the flat
+    NACK/repair-suppression protocol the paper contrasts with
+    hierarchical randomized recovery.
+
+    Mechanics implemented:
+    - loss detection by sequence gaps and session messages;
+    - on detecting a loss, a receiver schedules a {e request} multicast
+      after a uniform delay in [\[c1·d, (c1+c2)·d\]], where [d] is its
+      estimated one-way distance to the original source; hearing
+      another request for the same data suppresses its own and backs
+      off (doubling the interval) until the repair arrives;
+    - any member holding the data that hears a request schedules a
+      {e repair} multicast after a uniform delay in
+      [\[r1·d', (r1+r2)·d'\]] ([d'] = distance to the requester);
+      hearing the repair suppresses duplicates;
+    - members buffer everything for the whole session (SRM relies on
+      application-level framing to regenerate data; for buffering
+      comparisons this is the [Buffer_all] upper bound).
+
+    Requests and repairs are session-wide multicasts, which is exactly
+    the traffic-scaling contrast with RRMP's unicast probes and
+    region-scoped repairs. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?latency:Latency.t ->
+  ?loss:Loss.model ->
+  ?c1:float ->
+  ?c2:float ->
+  ?r1:float ->
+  ?r2:float ->
+  ?session_interval:float ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** Timer constants default to the classic [c1 = r1 = 1], [c2 = r2 = 1]
+    slotting. Distances are estimated from the latency model and the
+    region hops between the nodes. *)
+
+val sim : t -> Engine.Sim.t
+
+val multicast : t -> ?size:int -> unit -> Protocol.Msg_id.t
+
+val multicast_reaching :
+  t -> ?size:int -> reach:(Node_id.t -> bool) -> unit -> Protocol.Msg_id.t
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val count_received : t -> Protocol.Msg_id.t -> int
+
+val received_by_all : t -> Protocol.Msg_id.t -> bool
+
+val members : t -> Node_id.t list
+
+val buffer_of : t -> Node_id.t -> Rrmp.Buffer.t
+
+val request_multicasts : t -> int
+(** Request (NACK) packets put on the wire — one per receiver per
+    request multicast, matching the network's per-class accounting. *)
+
+val repair_multicasts : t -> int
+(** Repair packets put on the wire, counted the same way. *)
+
+val mean_recovery_latency : t -> float
+(** Mean over all losses repaired so far (0 when none). *)

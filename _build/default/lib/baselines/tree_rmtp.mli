@@ -1,0 +1,59 @@
+(** A compact tree-based reliable multicast in the style of RMTP/LBRRM:
+    the baseline family the paper contrasts RRMP with.
+
+    Each region designates its lowest-numbered member as the {e repair
+    server}. Receivers NACK their region's server for missing messages
+    (retrying on a timer); the server buffers {e every} data packet for
+    the whole session and answers retransmissions. A server missing a
+    message NACKs the server of its parent region and relays the repair
+    when it arrives. The load-balance and overhead experiments use this
+    to show what RRMP's spreading buys: here one node per region bears
+    the entire buffering and retransmission burden. *)
+
+type t
+
+type wire
+
+val create :
+  ?seed:int ->
+  ?latency:Latency.t ->
+  ?loss:Loss.model ->
+  ?bandwidth:float ->
+  ?nack_timeout:float ->
+  ?session_interval:float ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** [nack_timeout] defaults to one intra-region RTT estimate.
+    [bandwidth] (bytes/ms) bounds each node's egress — with repairs
+    serialized at the server, this exposes the implosion problem
+    distributed recovery avoids. *)
+
+val net : t -> wire Netsim.Network.t
+
+val sim : t -> Engine.Sim.t
+
+val repair_server : t -> Region_id.t -> Node_id.t
+
+val is_server : t -> Node_id.t -> bool
+
+val multicast : t -> ?size:int -> unit -> Protocol.Msg_id.t
+(** The sender (node 0) multicasts the next message via lossy IP
+    multicast. *)
+
+val multicast_reaching :
+  t -> ?size:int -> reach:(Node_id.t -> bool) -> unit -> Protocol.Msg_id.t
+
+val send_session : t -> unit
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+val count_received : t -> Protocol.Msg_id.t -> int
+
+val received_by_all : t -> Protocol.Msg_id.t -> bool
+
+val buffer_of : t -> Node_id.t -> Rrmp.Buffer.t
+(** Occupancy accounting per member (servers hold everything; plain
+    receivers buffer nothing). *)
+
+val members : t -> Node_id.t list

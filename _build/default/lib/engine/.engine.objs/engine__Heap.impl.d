@@ -1,0 +1,1 @@
+lib/engine/heap.ml: Array

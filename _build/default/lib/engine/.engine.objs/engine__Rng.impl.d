@@ -1,0 +1,1 @@
+lib/engine/rng.ml: Array Float Int64 List Seq

@@ -1,0 +1,1 @@
+lib/engine/timer.ml: Float Sim

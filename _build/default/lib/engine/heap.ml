@@ -1,0 +1,85 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  compare_priority : 'a -> 'a -> int;
+  initial_capacity : int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) ~compare_priority () =
+  if capacity <= 0 then invalid_arg "Heap.create: capacity must be positive";
+  { compare_priority; initial_capacity = capacity; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* seq breaks ties so equal priorities pop in insertion order *)
+let less t a b =
+  let c = t.compare_priority a.value b.value in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+(* [filler] seeds the slots of a freshly allocated array; it is always
+   immediately overwritten for the slot actually used *)
+let ensure_room t filler =
+  if t.size = Array.length t.data then begin
+    let capacity = max t.initial_capacity (2 * Array.length t.data) in
+    let data = Array.make capacity filler in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && less t t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.size && less t t.data.(right) t.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t value =
+  let entry = { value; seq = t.next_seq } in
+  ensure_room t entry;
+  t.data.(t.size) <- entry;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0).value in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let to_list_unordered t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i).value :: acc) in
+  collect (t.size - 1) []

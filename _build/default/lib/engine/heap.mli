@@ -1,0 +1,28 @@
+(** Growable binary min-heap used as the simulator's event queue.
+
+    Elements are ordered by a caller-supplied priority; ties are broken
+    by insertion order (FIFO among equal priorities), which makes event
+    execution deterministic. *)
+
+type 'a t
+
+val create : ?capacity:int -> compare_priority:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~compare_priority ()] is an empty heap. [compare_priority]
+    must be a total order on priorities. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element; FIFO among ties. *)
+
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** All elements, in unspecified order (for inspection/tests). *)

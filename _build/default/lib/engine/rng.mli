@@ -1,0 +1,78 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    Every source of randomness in the simulator flows from a single [t]
+    created from a user-supplied seed, so a run is exactly reproducible
+    from [(seed, parameters)]. Independent components should each receive
+    their own generator obtained with {!split}, which derives a child
+    stream that is statistically independent of its parent's future
+    output. The implementation is splitmix64 (Steele, Lea & Flood 2014),
+    which is fast, has a full 2^64 period, and splits cheaply. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Two generators created with
+    the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent child generator and advances [t].
+    Use one child per simulated component. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p] (clamped to
+    [\[0, 1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean.
+    @raise Invalid_argument if [mean <= 0]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal sample via Box–Muller. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal sample: [exp (gaussian ~mu ~sigma)]. *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success (>= 0).
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on
+    an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list (O(n)). *)
+
+val pick_other : t -> 'a array -> not_equal:'a -> 'a option
+(** Uniform element different from [not_equal] (by structural
+    equality); [None] if no such element exists. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] is [k] distinct elements chosen
+    uniformly. @raise Invalid_argument if [k < 0] or [k > length arr]. *)

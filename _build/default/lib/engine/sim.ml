@@ -1,0 +1,66 @@
+type handle = {
+  at : float;
+  action : unit -> unit;
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+}
+
+type t = {
+  mutable clock : float;
+  queue : handle Heap.t;
+  mutable executed : int;
+}
+
+let create ?(now = 0.0) () =
+  let compare_priority a b = Float.compare a.at b.at in
+  { clock = now; queue = Heap.create ~compare_priority (); executed = 0 }
+
+let now t = t.clock
+
+let pending t = Heap.length t.queue
+
+let schedule_at t ~at action =
+  let at = Float.max at t.clock in
+  let handle = { at; action; state = `Pending } in
+  Heap.push t.queue handle;
+  handle
+
+let schedule t ~delay action = schedule_at t ~at:(t.clock +. Float.max delay 0.0) action
+
+let cancel handle = if handle.state = `Pending then handle.state <- `Cancelled
+
+let cancelled handle = handle.state = `Cancelled
+
+let fire_time handle = handle.at
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some handle ->
+    t.clock <- Float.max t.clock handle.at;
+    (match handle.state with
+     | `Cancelled | `Fired -> ()
+     | `Pending ->
+       handle.state <- `Fired;
+       t.executed <- t.executed + 1;
+       handle.action ());
+    true
+
+let run ?until ?max_events t =
+  let budget_left () =
+    match max_events with None -> true | Some m -> t.executed < m
+  in
+  let next_in_range () =
+    match Heap.peek t.queue with
+    | None -> false
+    | Some handle ->
+      (match until with None -> true | Some u -> handle.at <= u)
+  in
+  while budget_left () && next_in_range () do
+    ignore (step t)
+  done;
+  match until with
+  | Some u when Heap.is_empty t.queue || not (next_in_range ()) ->
+    t.clock <- Float.max t.clock u
+  | _ -> ()
+
+let events_executed t = t.executed

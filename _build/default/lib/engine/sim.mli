@@ -1,0 +1,50 @@
+(** Discrete-event simulation driver.
+
+    A [t] owns a virtual clock (in milliseconds) and an event queue.
+    Events scheduled for the same instant run in the order they were
+    scheduled, which together with {!Rng} makes runs fully
+    deterministic. Callbacks may schedule further events. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled before it fires. *)
+
+val create : ?now:float -> unit -> t
+(** Fresh simulation with the clock at [now] (default 0.0 ms). *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. A negative
+    delay is clamped to 0 (runs "now", after already-queued events for
+    this instant). *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to
+    [now t]). *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val fire_time : handle -> float
+(** The virtual time at which the handle is (or was) due. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue. Stops when the queue is empty, when the next
+    event is strictly later than [until], or after [max_events]
+    callbacks have run. The clock ends at the time of the last executed
+    event (or [until] if provided and larger). *)
+
+val step : t -> bool
+(** Execute the single next event. [false] if the queue was empty. *)
+
+val events_executed : t -> int
+(** Total callbacks run since creation. *)

@@ -1,0 +1,81 @@
+module Idle = struct
+  type t = {
+    sim : Sim.t;
+    timeout : float;
+    on_idle : unit -> unit;
+    mutable handle : Sim.handle option;
+  }
+
+  let arm t =
+    let handle =
+      Sim.schedule t.sim ~delay:t.timeout (fun () ->
+          t.handle <- None;
+          t.on_idle ())
+    in
+    t.handle <- Some handle
+
+  let create sim ~timeout ~on_idle =
+    let t = { sim; timeout; on_idle; handle = None } in
+    arm t;
+    t
+
+  let stop t =
+    match t.handle with
+    | None -> ()
+    | Some handle ->
+      Sim.cancel handle;
+      t.handle <- None
+
+  let touch t =
+    match t.handle with
+    | None -> ()
+    | Some handle ->
+      Sim.cancel handle;
+      arm t
+
+  let restart t =
+    stop t;
+    arm t
+
+  let active t = t.handle <> None
+end
+
+module Periodic = struct
+  type t = {
+    sim : Sim.t;
+    interval : float;
+    jitter : (unit -> float) option;
+    tick : unit -> unit;
+    mutable handle : Sim.handle option;
+    mutable stopped : bool;
+  }
+
+  let next_delay t =
+    let extra = match t.jitter with None -> 0.0 | Some j -> j () in
+    Float.max (t.interval +. extra) Float.epsilon
+
+  let rec arm t =
+    let handle =
+      Sim.schedule t.sim ~delay:(next_delay t) (fun () ->
+          if not t.stopped then begin
+            t.tick ();
+            if not t.stopped then arm t
+          end)
+    in
+    t.handle <- Some handle
+
+  let create ?jitter sim ~interval tick =
+    let t = { sim; interval; jitter; tick; handle = None; stopped = false } in
+    arm t;
+    t
+
+  let stop t =
+    t.stopped <- true;
+    match t.handle with
+    | None -> ()
+    | Some handle ->
+      Sim.cancel handle;
+      t.handle <- None
+
+  let active t = not t.stopped
+end

@@ -1,0 +1,38 @@
+(** Timer utilities built on {!Sim}. *)
+
+(** A timer that fires once after a period with no activity; every
+    {!Idle.touch} pushes the deadline back. This is exactly the shape of
+    RRMP's idle-threshold detection: "no request received for T ms". *)
+module Idle : sig
+  type t
+
+  val create : Sim.t -> timeout:float -> on_idle:(unit -> unit) -> t
+  (** Starts armed: with no touches, [on_idle] fires [timeout] ms from
+      now. [on_idle] runs at most once unless {!restart} is called. *)
+
+  val touch : t -> unit
+  (** Reset the quiet period. No-op after the timer fired or was
+      stopped. *)
+
+  val stop : t -> unit
+  (** Disarm without firing. *)
+
+  val restart : t -> unit
+  (** Re-arm a fired or stopped timer for a fresh quiet period. *)
+
+  val active : t -> bool
+end
+
+(** A fixed-interval repeating timer. *)
+module Periodic : sig
+  type t
+
+  val create : ?jitter:(unit -> float) -> Sim.t -> interval:float -> (unit -> unit) -> t
+  (** First tick after one interval (plus jitter, if any). [jitter]
+      is sampled per tick and added to the interval; the result is
+      clamped to be positive. *)
+
+  val stop : t -> unit
+
+  val active : t -> bool
+end

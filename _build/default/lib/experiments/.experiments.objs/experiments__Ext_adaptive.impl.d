@@ -1,0 +1,1 @@
+lib/experiments/ext_adaptive.ml: Engine Latency List Netsim Node_id Printf Protocol Region_id Report Rrmp Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/ext_churn.ml: Array Engine Printf Report Rrmp Topology

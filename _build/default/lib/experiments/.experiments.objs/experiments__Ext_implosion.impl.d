@@ -1,0 +1,1 @@
+lib/experiments/ext_implosion.ml: Baselines Engine Float List Netsim Printf Report Rrmp Stats Topology

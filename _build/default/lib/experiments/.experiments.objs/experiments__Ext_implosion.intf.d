@@ -1,0 +1,1 @@
+lib/experiments/ext_implosion.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/ext_lambda.ml: List Netsim Node_id Printf Region_id Report Rrmp Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/ext_latency_vs_c.ml: List Node_id Printf Region_id Report Rrmp Stats Topology

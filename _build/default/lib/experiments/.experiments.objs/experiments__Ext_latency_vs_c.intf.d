@@ -1,0 +1,1 @@
+lib/experiments/ext_latency_vs_c.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/ext_load_balance.ml: Array Baselines Engine Float List Printf Report Rrmp Stats Topology

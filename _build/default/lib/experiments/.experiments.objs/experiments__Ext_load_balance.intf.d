@@ -1,0 +1,1 @@
+lib/experiments/ext_load_balance.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/ext_model.ml: Fig8 List Printf Report Rrmp Runner Stats

@@ -1,0 +1,1 @@
+lib/experiments/ext_overhead.ml: Engine List Netsim Printf Report Rrmp Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/ext_protocols.ml: Baselines Engine Float List Loss Netsim Printf Protocol Report Rrmp Stats String Topology

@@ -1,0 +1,1 @@
+lib/experiments/ext_reliability.ml: Engine List Node_id Option Printf Region_id Report Rrmp Stats Topology

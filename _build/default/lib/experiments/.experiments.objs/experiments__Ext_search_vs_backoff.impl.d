@@ -1,0 +1,1 @@
+lib/experiments/ext_search_vs_backoff.ml: Array Baselines Engine List Netsim Node_id Printf Protocol Region_id Report Rrmp Stats Topology

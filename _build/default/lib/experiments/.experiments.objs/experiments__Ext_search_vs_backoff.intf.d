@@ -1,0 +1,1 @@
+lib/experiments/ext_search_vs_backoff.mli: Report

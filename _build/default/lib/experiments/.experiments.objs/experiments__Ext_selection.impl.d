@@ -1,0 +1,1 @@
+lib/experiments/ext_selection.ml: Array Engine List Netsim Node_id Printf Protocol Region_id Report Rrmp Seq Stats Topology

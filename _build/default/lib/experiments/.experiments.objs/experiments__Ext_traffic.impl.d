@@ -1,0 +1,1 @@
+lib/experiments/ext_traffic.ml: Engine List Netsim Printf Report Rrmp Topology

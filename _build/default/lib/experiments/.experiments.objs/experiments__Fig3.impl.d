@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Engine List Printf Report Rrmp Stats

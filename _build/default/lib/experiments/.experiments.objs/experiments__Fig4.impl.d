@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Engine List Printf Report Rrmp Stats Topology

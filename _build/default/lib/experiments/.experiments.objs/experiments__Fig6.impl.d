@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Engine List Node_id Printf Protocol Region_id Report Rrmp Runner Stats Topology

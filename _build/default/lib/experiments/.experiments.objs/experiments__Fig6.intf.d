@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Node_id Protocol Report Rrmp

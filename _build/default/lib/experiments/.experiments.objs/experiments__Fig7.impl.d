@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Engine Fig6 Printf Report Rrmp Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Engine List Netsim Node_id Printf Protocol Region_id Report Rrmp Runner Stats Topology

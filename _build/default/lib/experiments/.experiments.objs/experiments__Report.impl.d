@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Filename Format List Printf String Tracing

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Array Engine List Node_id Topology

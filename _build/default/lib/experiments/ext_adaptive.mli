@@ -1,0 +1,18 @@
+(** Extension M: adaptive vs fixed idle threshold under a mis-estimated
+    RTT.
+
+    The paper chooses [T = 4x] the {e maximum} intra-region RTT
+    (Section 3.1/4) and notes the choice depends on that RTT. If the
+    region's real RTT is much larger than the configuration assumed, a
+    fixed [T = 40 ms] fires prematurely: holders discard while probes
+    are still in flight, requests land on empty buffers, and recovery
+    slows. The adaptive mode ([Config.idle_rounds]) learns the RTT from
+    request/repair exchanges and sets [T] per member.
+
+    We run the Figure 6 workload (1 holder, 100 members) with the
+    region's one-way delay scaled by a factor and compare fixed vs
+    adaptive: unanswerable requests (a request reaching a member that
+    already discarded), stragglers left unrecovered, and total local
+    request traffic. *)
+
+val run : ?delay_scales:float list -> ?region:int -> ?trials:int -> ?seed:int -> unit -> Report.t

@@ -1,0 +1,54 @@
+(* One trial: idle a message in a region, then remove [departures]
+   random members (never draining the region); returns whether at least
+   one buffered copy survives. *)
+let one_trial ~handoff ~region ~departures ~c ~seed =
+  let topology = Topology.single_region ~size:region in
+  let config = { Rrmp.Config.default with Rrmp.Config.expected_bufferers = c } in
+  let group = Rrmp.Group.create ~seed ~config ~topology () in
+  let rng = Engine.Rng.create ~seed:(seed lxor 0xC0FFEE) in
+  let id = Rrmp.Group.multicast group () in
+  Rrmp.Group.run ~until:300.0 group;
+  let initial_bufferers = Rrmp.Group.count_buffered group id in
+  let departed = ref 0 in
+  while !departed < departures do
+    let nodes = Topology.all_nodes (Rrmp.Group.topology group) in
+    if Array.length nodes > 1 then begin
+      let node = Engine.Rng.pick rng nodes in
+      (if handoff then Rrmp.Group.leave group node else Rrmp.Group.crash group node);
+      (* deliver the handoff before the next departure *)
+      Rrmp.Group.run group;
+      incr departed
+    end
+    else departed := departures
+  done;
+  Rrmp.Group.run group;
+  (initial_bufferers > 0, Rrmp.Group.count_buffered group id > 0)
+
+let survival ~handoff ~region ~departures ~c ~trials ~seed =
+  let survived = ref 0 and had_bufferer = ref 0 in
+  for i = 0 to trials - 1 do
+    let initial, final = one_trial ~handoff ~region ~departures ~c ~seed:(seed + i) in
+    if initial then incr had_bufferer;
+    if initial && final then incr survived
+  done;
+  if !had_bufferer = 0 then 0.0 else float_of_int !survived /. float_of_int !had_bufferer
+
+let run ?(region = 30) ?(departures = 25) ?(c = 4.0) ?(trials = 100) ?(seed = 1) () =
+  let with_handoff = survival ~handoff:true ~region ~departures ~c ~trials ~seed in
+  let without = survival ~handoff:false ~region ~departures ~c ~trials ~seed in
+  Report.make ~id:"ext_churn"
+    ~title:"Long-term buffer survival under churn: handoff vs crash"
+    ~columns:[ "departure mode"; "message still buffered %" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "region %d, C=%.0f; after the message idles, %d random members depart one by \
+           one; %d trials (conditioned on >=1 initial bufferer)"
+          region c departures trials;
+        "expected: voluntary leave with handoff keeps the message buffered ~always; \
+         crashes destroy the remaining copies with high probability";
+      ]
+    [
+      [ "leave (handoff)"; Report.cell_pct with_handoff ];
+      [ "crash (no handoff)"; Report.cell_pct without ];
+    ]

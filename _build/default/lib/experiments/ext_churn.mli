@@ -1,0 +1,10 @@
+(** Extension F: buffer handoff under churn (Section 3.2).
+
+    After a message goes idle, its long-term bufferers are the only
+    copies in the region. We then make members leave one after another.
+    With RRMP's voluntary-leave handoff the long-term buffer migrates
+    and the message stays recoverable; if members crash (no handoff),
+    every departing bufferer permanently destroys a copy. *)
+
+val run :
+  ?region:int -> ?departures:int -> ?c:float -> ?trials:int -> ?seed:int -> unit -> Report.t

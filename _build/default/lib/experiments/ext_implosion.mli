@@ -1,0 +1,23 @@
+(** Extension L: the message-implosion problem (Section 1's
+    motivation for distributed error recovery).
+
+    "Putting the responsibility of error recovery entirely on the
+    sender can lead to a message implosion problem [7, 12]."
+
+    A region-wide loss (only the sender holds the message) with a
+    per-node egress bandwidth limit: under the sender/repair-server
+    design, every NACK converges on one node and all repairs serialize
+    on its link; under RRMP, repaired members immediately answer their
+    neighbours' probes, so retransmission capacity grows with the
+    epidemic. We sweep the egress bandwidth and report the time until
+    everyone has the message, plus the worst egress backlog. *)
+
+val run :
+  ?bandwidths:float list ->
+  ?region:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** [bandwidths] in bytes/ms (1 KiB payloads: 100 bytes/ms ≈ 10 ms
+    serialization per repair). *)

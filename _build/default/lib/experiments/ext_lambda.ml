@@ -1,0 +1,82 @@
+module Network = Netsim.Network
+
+let one_trial ~lambda ~upstream ~downstream ~seed =
+  let topology = Topology.chain ~sizes:[ upstream; downstream ] in
+  let latencies = Stats.Summary.create () in
+  let observer ~time:_ ~self:_ event =
+    match event with
+    | Rrmp.Events.Recovered { latency; _ } -> Stats.Summary.add latencies latency
+    | _ -> ()
+  in
+  let config = { Rrmp.Config.default with Rrmp.Config.lambda } in
+  let group = Rrmp.Group.create ~seed ~config ~observer ~topology () in
+  let id =
+    Rrmp.Group.multicast_reaching group ~reach:(fun n -> Node_id.to_int n < upstream) ()
+  in
+  List.iter
+    (fun m -> Rrmp.Member.inject_loss m id)
+    (Rrmp.Group.members_of_region group (Region_id.of_int 1));
+  Rrmp.Group.run ~until:60_000.0 group;
+  let net = Rrmp.Group.net group in
+  let recovered = Rrmp.Group.received_by_all group id in
+  ( recovered,
+    Stats.Summary.mean latencies,
+    (Network.stats net ~cls:"remote-req").Network.sent,
+    (Network.stats net ~cls:"regional-repair").Network.sent )
+
+let run ?(lambdas = [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]) ?(upstream = 50) ?(downstream = 50)
+    ?(trials = 30) ?(seed = 1) () =
+  let rows =
+    List.map
+      (fun lambda ->
+        let latency = Stats.Summary.create () in
+        let remote = Stats.Summary.create () in
+        let regional = Stats.Summary.create () in
+        let unrecoverable = ref 0 in
+        for i = 0 to trials - 1 do
+          let recovered, mean_latency, remote_sent, regional_sent =
+            one_trial ~lambda ~upstream ~downstream
+              ~seed:(seed + i + int_of_float (lambda *. 131_071.0))
+          in
+          (* a run where the upstream region kept zero long-term
+             bufferers (probability ~e^-C) is unrecoverable — the
+             Section 5 limitation; report it separately so it does not
+             pollute the traffic/latency means *)
+          if recovered then begin
+            Stats.Summary.add latency mean_latency;
+            Stats.Summary.add remote (float_of_int remote_sent);
+            Stats.Summary.add regional (float_of_int regional_sent)
+          end
+          else incr unrecoverable
+        done;
+        [
+          Printf.sprintf "%.2f" lambda;
+          Report.cell_f (Stats.Summary.mean latency);
+          Report.cell_f (Stats.Summary.mean remote);
+          Report.cell_f (Stats.Summary.mean regional);
+          Report.cell_i !unrecoverable;
+        ])
+      lambdas
+  in
+  Report.make ~id:"ext_lambda"
+    ~title:"Remote-request fan-out: recovery latency vs duplicate traffic"
+    ~columns:
+      [
+        "lambda";
+        "mean recovery latency (ms)";
+        "remote requests";
+        "regional repair pkts";
+        "unrecoverable runs";
+      ]
+    ~notes:
+      [
+        Printf.sprintf
+          "two regions (%d upstream, %d downstream); the downstream region misses the \
+           message entirely; %d trials per lambda"
+          upstream downstream trials;
+        "expected: latency falls as lambda grows while duplicate remote requests and \
+         regional repair multicasts rise — the Section 2.2 trade-off; the occasional \
+         unrecoverable run is the Section 5 limitation (no long-term bufferer survived \
+         upstream, probability ~e^-C per run)";
+      ]
+    rows

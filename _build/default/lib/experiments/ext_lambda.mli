@@ -1,0 +1,13 @@
+(** Extension H: the λ trade-off of Section 2.2 — the expected number
+    of remote requests per region-wide loss. Larger λ duplicates
+    remote requests (and regional repair multicasts) but recovers the
+    region faster; λ → 0 risks long waits. *)
+
+val run :
+  ?lambdas:float list ->
+  ?upstream:int ->
+  ?downstream:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

@@ -1,0 +1,17 @@
+(** Extension C: the buffer/latency trade-off of Section 3.2 — "large
+    C recovers faster, small C saves memory but may take longer".
+
+    A two-region hierarchy; the upstream region receives and idles a
+    message (leaving ~C long-term bufferers), then the entire
+    downstream region detects the loss. Remote requests land on
+    upstream members that mostly discarded the message, so recovery
+    latency includes the search; we sweep C. *)
+
+val run :
+  ?cs:float list ->
+  ?upstream:int ->
+  ?downstream:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

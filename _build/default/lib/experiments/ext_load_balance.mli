@@ -1,0 +1,23 @@
+(** Extension D: load balancing of the buffering burden.
+
+    The paper: "unlike tree-based protocols where a repair server bears
+    the entire burden of buffering messages for a local region, RRMP
+    achieves better load balancing by spreading the load among all
+    members". We run the same lossy stream through RRMP and through the
+    tree-based baseline and compare how the buffer·time integral is
+    distributed across members (max share and Gini coefficient). *)
+
+val run :
+  ?region:int ->
+  ?messages:int ->
+  ?spacing:float ->
+  ?reach_prob:float ->
+  ?horizon:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+
+val gini : float list -> float
+(** Gini coefficient of a non-negative distribution (0 = perfectly
+    even, → 1 = concentrated on one member). *)

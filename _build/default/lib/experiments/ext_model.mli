@@ -1,0 +1,16 @@
+(** Extension J: the analytical search model against the simulation.
+
+    {!Rrmp.Model.expected_search_time} predicts Figure 8's curve from a
+    branching-searcher recurrence; this experiment prints the model
+    beside freshly measured simulation values for both the Figure 8
+    sweep (bufferers at n = 100) and the Figure 9 sweep (region size at
+    10 bufferers). Agreement validates both the model and the protocol
+    implementation. *)
+
+val run :
+  ?bufferer_counts:int list ->
+  ?region_sizes:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

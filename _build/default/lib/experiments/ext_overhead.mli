@@ -1,0 +1,26 @@
+(** Extension A: buffer-space overhead of the two-phase scheme against
+    the baseline policies the paper positions itself against — all run
+    over the {e same} randomized recovery protocol, so the comparison
+    isolates the buffering policy:
+
+    - [two-phase] (the paper),
+    - [fixed-time] (Bimodal Multicast style),
+    - [stability detection] (periodic history exchange),
+    - [buffer-all] (repair-server-style upper bound).
+
+    A stream of messages is multicast into one region with independent
+    per-receiver loss on the initial multicast (recovery traffic stays
+    lossless, as in the paper's evaluation). We report the buffer·time
+    integral per member, the peak buffer, the control traffic, and
+    delivery completeness. *)
+
+val run :
+  ?region:int ->
+  ?messages:int ->
+  ?spacing:float ->
+  ?reach_prob:float ->
+  ?horizon:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

@@ -1,0 +1,21 @@
+(** Extension K: four reliable-multicast designs on one workload.
+
+    RRMP (randomized recovery + two-phase buffering) against the three
+    families the paper's introduction surveys: SRM (flat NACK/repair
+    suppression, session-wide multicasts, ALF buffer-everything),
+    Bimodal-Multicast-style anti-entropy (gossip digests + pull,
+    fixed-time buffering), and the tree-based repair-server protocol
+    (RMTP-like). Same topology, loss and message stream for all;
+    reported: delivery completeness, mean time to full (group-wide)
+    delivery, control packets, and buffer cost. *)
+
+val run :
+  ?sizes:int list ->
+  ?messages:int ->
+  ?spacing:float ->
+  ?loss:float ->
+  ?horizon:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

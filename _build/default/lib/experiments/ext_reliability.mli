@@ -1,0 +1,11 @@
+(** Extension E: the Section 5 limitation quantified — the probability
+    that a receiver detecting a loss {e after} the message went idle
+    everywhere can no longer recover it, as a function of C.
+
+    A region receives a message and idles; then one late receiver
+    detects the loss. Recovery succeeds iff at least one long-term
+    bufferer survived, so the violation probability should track
+    e^-C. We also report the recovery latency conditional on
+    success. *)
+
+val run : ?cs:float list -> ?region:int -> ?trials:int -> ?seed:int -> unit -> Report.t

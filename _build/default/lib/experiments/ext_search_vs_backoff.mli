@@ -1,0 +1,19 @@
+(** Extension G: why RRMP searches instead of multicasting the query
+    (Section 3.3's motivating observation).
+
+    The rejected design multicasts the request in the region; bufferers
+    reply after a randomized back-off sized for the C expected
+    long-term bufferers. But a message can still be buffered at many
+    more members than C (idle at some, not yet at others): then the
+    back-off window is far too short and replies storm. We sweep the
+    actual number of bufferers B and compare the reply/probe traffic
+    and location latency of both mechanisms. *)
+
+val run :
+  ?bufferer_counts:int list ->
+  ?region:int ->
+  ?c:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t

@@ -1,0 +1,11 @@
+(** Extension I: randomized vs deterministic (hashed) choice of
+    long-term bufferers — the comparison of Section 3.4.
+
+    With the deterministic hash of Ozkasap et al., any member can
+    compute who buffers a message and probe the bufferers directly, so
+    locating one needs no random walk; the randomized choice pays
+    search traffic and latency but adapts to membership changes (the
+    handoff of Section 3.2). We measure the location cost of both on
+    the Figure 8 rig. *)
+
+val run : ?region:int -> ?c:float -> ?trials:int -> ?seed:int -> unit -> Report.t

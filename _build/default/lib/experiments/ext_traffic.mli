@@ -1,0 +1,18 @@
+(** Extension B: control-traffic comparison between feedback-based
+    idle detection (which piggybacks on retransmission requests that
+    exist anyway) and stability detection (which pays a periodic
+    history-exchange cost even when nothing is lost).
+
+    We sweep the region size with a fixed lossless stream: the paper's
+    claim is that the two-phase scheme "does not introduce extra
+    traffic into the system" while stability detection's cost grows
+    with group size and session length. *)
+
+val run :
+  ?region_sizes:int list ->
+  ?messages:int ->
+  ?spacing:float ->
+  ?horizon:float ->
+  ?seed:int ->
+  unit ->
+  Report.t

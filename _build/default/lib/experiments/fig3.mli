@@ -1,0 +1,18 @@
+(** Figure 3: the probability that [k] members long-term-buffer an idle
+    message, for different values of [C].
+
+    Analytically this is Poisson(C) (the n → ∞ limit of
+    Binomial(n, C/n)); we print the analytic pmf side by side with a
+    Monte-Carlo estimate obtained by actually flipping each member's
+    [C/n] coin, per Section 3.2. *)
+
+val run :
+  ?cs:float list ->
+  ?max_k:int ->
+  ?region:int ->
+  ?mc_trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: C ∈ {5, 6, 7, 8} (the paper's curves), k = 0..20,
+    region of 100 members, 20,000 Monte-Carlo trials. *)

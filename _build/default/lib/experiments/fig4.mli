@@ -1,0 +1,16 @@
+(** Figure 4: the probability that {e no} member long-term-buffers an
+    idle message, as a function of [C]. Analytically e^-C (0.25% at
+    C = 6); cross-checked by Monte-Carlo coin flips and by full
+    protocol runs (a whole group buffering, idling, and making its
+    long-term decisions). *)
+
+val run :
+  ?cs:float list ->
+  ?region:int ->
+  ?mc_trials:int ->
+  ?protocol_trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: C = 1..6, region 100, 100,000 coin-flip trials, 300
+    protocol runs per C. *)

@@ -1,0 +1,68 @@
+module Msg_id = Protocol.Msg_id
+
+(* Build the paper's workload: [holders] random members hold the
+   message at t = 0 (short-term buffered); every other member detects
+   the loss at t = 0 and starts recovery. Returns the group, the
+   message id and the holder set. *)
+let setup ~holders ~region ~seed ~observer =
+  let topology = Topology.single_region ~size:region in
+  let group = Rrmp.Group.create ~seed ~observer ~topology () in
+  let rng = Engine.Rng.create ~seed:(seed lxor 0x5EED) in
+  let id = Msg_id.make ~source:(Node_id.of_int 0) ~seq:0 in
+  let payload = Rrmp.Payload.make id in
+  let all = Topology.members topology (Region_id.of_int 0) in
+  let holder_set = Engine.Rng.sample_without_replacement rng holders all in
+  let is_holder node = Array.exists (Node_id.equal node) holder_set in
+  List.iter
+    (fun m ->
+      let node = Rrmp.Member.node m in
+      if is_holder node then Rrmp.Member.force_buffer m ~phase:Rrmp.Buffer.Short_term payload
+      else Rrmp.Member.inject_loss m id)
+    (Rrmp.Group.members group);
+  (group, id, holder_set)
+
+let average_holder_buffering_time ~holders ~region ~seed =
+  let durations = ref [] in
+  let holder_set = ref [||] in
+  let observer ~time ~self event =
+    ignore time;
+    match event with
+    | Rrmp.Events.Became_idle { buffered_for; _ }
+      when Array.exists (Node_id.equal self) !holder_set ->
+      durations := buffered_for :: !durations
+    | _ -> ()
+  in
+  let group, _id, chosen = setup ~holders ~region ~seed ~observer in
+  holder_set := chosen;
+  Rrmp.Group.run ~until:100_000.0 group;
+  match !durations with
+  | [] -> invalid_arg "fig6: no holder ever became idle"
+  | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+
+let run ?(holder_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(region = 100) ?(trials = 30)
+    ?(seed = 1) () =
+  let rows =
+    List.map
+      (fun holders ->
+        let summary =
+          Runner.mean_over_seeds ~trials ~base_seed:(seed + (holders * 1000))
+            (fun ~seed -> average_holder_buffering_time ~holders ~region ~seed)
+        in
+        [
+          Report.cell_i holders;
+          Report.cell_f (Stats.Summary.mean summary);
+          Report.cell_f (Stats.Summary.stddev summary);
+          Report.cell_f (Stats.Summary.ci95_halfwidth summary);
+        ])
+      holder_counts
+  in
+  Report.make ~id:"fig6" ~title:"Average short-term buffering time vs initial holders"
+    ~columns:[ "#holders"; "avg buffering time (ms)"; "stddev"; "ci95"; ]
+    ~notes:
+      [
+        Printf.sprintf "region of %d members, RTT 10 ms, T = 40 ms, %d trials per point"
+          region trials;
+        "expected shape (paper, log-scale y): monotone decrease from ~105 ms at 1 holder \
+         towards ~T as the initial multicast reaches more members";
+      ]
+    rows

@@ -1,0 +1,35 @@
+(** Figure 6: effectiveness of feedback-based short-term buffering.
+
+    A region of 100 members (10 ms RTT, idle threshold T = 40 ms); a
+    random subset of [k] members holds the message initially, everyone
+    else detects the loss simultaneously and starts local recovery. We
+    measure how long the initial holders keep the message in their
+    short-term buffer (time from holding it to the idle threshold
+    firing). The paper's y-axis is log-scale, decreasing from ~105 ms
+    at 1 holder to near T as the initial multicast reaches more
+    members. *)
+
+val run :
+  ?holder_counts:int list ->
+  ?region:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: holders ∈ {1, 2, 4, 8, 16, 32, 64} (the paper's x-axis),
+    region 100, 30 trials per point. *)
+
+val average_holder_buffering_time :
+  holders:int -> region:int -> seed:int -> float
+(** One trial: mean short-term buffering time (ms) over the initial
+    holders. *)
+
+val setup :
+  holders:int ->
+  region:int ->
+  seed:int ->
+  observer:Rrmp.Events.observer ->
+  Rrmp.Group.t * Protocol.Msg_id.t * Node_id.t array
+(** The shared workload builder (also used by Figure 7): a single
+    region where [holders] random members hold the message at t = 0
+    and everyone else starts recovery immediately. *)

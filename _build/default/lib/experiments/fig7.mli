@@ -1,0 +1,16 @@
+(** Figure 7: #members that have received a message vs #members that
+    buffer it, over time, when 1 member holds it initially (region of
+    100). The buffered curve tracks the received curve while recovery
+    is in progress, then collapses once an overwhelming majority (~96%
+    in the paper) has the message and the idle threshold elapses. *)
+
+val run :
+  ?region:int ->
+  ?sample_every:float ->
+  ?horizon:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: region 100, sampling every 5 ms up to 140 ms (the
+    paper's x-range), a single trial (the paper plots one run). *)

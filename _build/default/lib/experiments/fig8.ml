@@ -1,0 +1,81 @@
+module Msg_id = Protocol.Msg_id
+module Network = Netsim.Network
+
+(* One trial of the paper's search experiment: a two-region chain
+   whose downstream region holds only the requesting receiver. Region
+   0 has [region] members, all of which received and discarded the
+   message except [bufferers] random long-term bufferers. The remote
+   request is injected towards a random region-0 member; we clock the
+   search from its arrival to the first Search_satisfied. *)
+let search_time ~region ~bufferers ~seed =
+  let topology = Topology.chain ~sizes:[ region; 1 ] in
+  let satisfied_at = ref None in
+  let observer ~time ~self:_ event =
+    match event with
+    | Rrmp.Events.Search_satisfied _ when !satisfied_at = None -> satisfied_at := Some time
+    | _ -> ()
+  in
+  let group = Rrmp.Group.create ~seed ~observer ~topology () in
+  let rng = Engine.Rng.create ~seed:(seed lxor 0xF16) in
+  let id = Msg_id.make ~source:(Node_id.of_int 0) ~seq:0 in
+  let payload = Rrmp.Payload.make id in
+  let region0 = Topology.members topology (Region_id.of_int 0) in
+  let chosen = Engine.Rng.sample_without_replacement rng bufferers region0 in
+  Array.iter
+    (fun node ->
+      let m = Rrmp.Group.member group node in
+      if Array.exists (Node_id.equal node) chosen then
+        Rrmp.Member.force_buffer m ~phase:Rrmp.Buffer.Long_term payload
+      else Rrmp.Member.force_received m id)
+    region0;
+  let origin = Node_id.of_int region in
+  let target = Engine.Rng.pick rng region0 in
+  (* clock starts when the remote request reaches the target *)
+  let arrived_at = ref None in
+  let net = Rrmp.Group.net group in
+  Network.set_delivery_hook net
+    (Some
+       (fun d ->
+         match d.Network.msg with
+         | Rrmp.Wire.Remote_request _ when !arrived_at = None ->
+           arrived_at := Some (Engine.Sim.now (Rrmp.Group.sim group))
+         | _ -> ()));
+  Network.unicast net ~cls:"remote-req" ~src:origin ~dst:target
+    (Rrmp.Wire.Remote_request { id; origin });
+  Rrmp.Group.run ~until:100_000.0 group;
+  match (!arrived_at, !satisfied_at) with
+  | Some arrival, Some found -> found -. arrival
+  | Some _, None -> invalid_arg "fig8: search never found a bufferer"
+  | None, _ -> invalid_arg "fig8: remote request never delivered"
+
+let table ~id ~title ~points ~column ~trials ~seed ~measure ~notes =
+  let rows =
+    List.map
+      (fun x ->
+        let summary =
+          Runner.mean_over_seeds ~trials ~base_seed:(seed + (x * 10_000)) (fun ~seed ->
+              measure x ~seed)
+        in
+        [
+          Report.cell_i x;
+          Report.cell_f (Stats.Summary.mean summary);
+          Report.cell_f (Stats.Summary.stddev summary);
+          Report.cell_f (Stats.Summary.ci95_halfwidth summary);
+        ])
+      points
+  in
+  Report.make ~id ~title
+    ~columns:[ column; "search time (ms)"; "stddev"; "ci95" ]
+    ~notes rows
+
+let run ?(bufferer_counts = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) ?(region = 100) ?(trials = 100)
+    ?(seed = 1) () =
+  table ~id:"fig8" ~title:"Search time vs number of bufferers" ~points:bufferer_counts
+    ~column:"#bufferers" ~trials ~seed
+    ~measure:(fun bufferers ~seed -> search_time ~region ~bufferers ~seed)
+    ~notes:
+      [
+        Printf.sprintf "region of %d members, RTT 10 ms, %d trials per point" region trials;
+        "expected shape: decreasing; ~2 RTT at 10 bufferers; 0 whenever the request \
+         lands on a bufferer";
+      ]

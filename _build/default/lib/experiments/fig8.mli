@@ -1,0 +1,33 @@
+(** Figure 8: search time as the number of long-term bufferers
+    increases (Section 3.3).
+
+    A remote request arrives at a randomly chosen member of a region
+    where everyone has received and discarded the message except [k]
+    long-term bufferers. The search time is measured from the arrival
+    of the request to the moment a bufferer serves it (0 when the
+    request lands on a bufferer directly). The paper: ~45 ms at 1
+    bufferer falling to ~20 ms (2 RTT) at 10, averaged over 100 runs. *)
+
+val run :
+  ?bufferer_counts:int list ->
+  ?region:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: bufferers 1..10, region 100, 100 trials per point. *)
+
+val search_time : region:int -> bufferers:int -> seed:int -> float
+(** One trial (ms). *)
+
+val table :
+  id:string ->
+  title:string ->
+  points:int list ->
+  column:string ->
+  trials:int ->
+  seed:int ->
+  measure:(int -> seed:int -> float) ->
+  notes:string list ->
+  Report.t
+(** Shared sweep-and-summarize driver (also used by Figure 9). *)

@@ -1,0 +1,11 @@
+let run ?(region_sizes = [ 100; 200; 300; 400; 500; 600; 700; 800; 900; 1000 ])
+    ?(bufferers = 10) ?(trials = 100) ?(seed = 2) () =
+  Fig8.table ~id:"fig9" ~title:"Search time vs region size (10 bufferers)"
+    ~points:region_sizes ~column:"region size" ~trials ~seed
+    ~measure:(fun region ~seed -> Fig8.search_time ~region ~bufferers ~seed)
+    ~notes:
+      [
+        Printf.sprintf "%d long-term bufferers, RTT 10 ms, %d trials per point" bufferers
+          trials;
+        "expected shape: sublinear growth — ~2.2x search time for 10x region size";
+      ]

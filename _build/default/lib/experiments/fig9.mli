@@ -1,0 +1,15 @@
+(** Figure 9: search time as the region grows, with the number of
+    long-term bufferers fixed at 10. The paper: a 10× larger region
+    (100 → 1000 members) increases search time only ~2.2×, so buffering
+    on 1% of the members costs little recovery latency while cutting
+    buffer space 100×. *)
+
+val run :
+  ?region_sizes:int list ->
+  ?bufferers:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Defaults: region sizes 100, 200, ..., 1000; 10 bufferers; 100
+    trials per point. *)

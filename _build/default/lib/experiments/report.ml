@@ -1,0 +1,45 @@
+type t = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~columns ?(notes = []) rows =
+  List.iteri
+    (fun i row ->
+      if List.length row <> List.length columns then
+        invalid_arg
+          (Printf.sprintf "Report.make(%s): row %d has %d cells, expected %d" id i
+             (List.length row) (List.length columns)))
+    rows;
+  { id; title; columns; rows; notes }
+
+let cell_f v = Printf.sprintf "%.3f" v
+
+let cell_pct v = Printf.sprintf "%.3f" (100.0 *. v)
+
+let cell_i = string_of_int
+
+let pp fmt t =
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    t.rows;
+  let pad i s = Printf.sprintf "%*s" widths.(i) s in
+  Format.fprintf fmt "@[<v>== %s: %s ==@," t.id t.title;
+  Format.fprintf fmt "%s@," (String.concat "  " (List.mapi pad t.columns));
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Format.fprintf fmt "%s@," rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@," (String.concat "  " (List.mapi pad row))) t.rows;
+  List.iter (fun note -> Format.fprintf fmt "note: %s@," note) t.notes;
+  Format.fprintf fmt "@]"
+
+let to_csv t = Tracing.Csv.to_string ~header:t.columns t.rows
+
+let save_csv ~dir t =
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  Tracing.Csv.save ~path ~header:t.columns t.rows;
+  path

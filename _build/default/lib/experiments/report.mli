@@ -1,0 +1,31 @@
+(** Uniform result container for every reproduced figure and extension
+    experiment: a titled table plus free-form notes comparing the
+    measured shape against the paper. *)
+
+type t = {
+  id : string;  (** e.g. "fig6", "ext_lambda" *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> columns:string list -> ?notes:string list ->
+  string list list -> t
+
+val cell_f : float -> string
+(** Render a float with 3 decimals. *)
+
+val cell_pct : float -> string
+(** Render a probability as a percentage with 3 decimals. *)
+
+val cell_i : int -> string
+
+val pp : Format.formatter -> t -> unit
+(** Aligned ASCII table with title and notes. *)
+
+val to_csv : t -> string
+
+val save_csv : dir:string -> t -> string
+(** Write [<dir>/<id>.csv]; returns the path. *)

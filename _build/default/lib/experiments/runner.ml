@@ -1,0 +1,13 @@
+let mean_over_seeds ~trials ~base_seed f =
+  let summary = Stats.Summary.create () in
+  for i = 0 to trials - 1 do
+    Stats.Summary.add summary (f ~seed:(base_seed + i))
+  done;
+  summary
+
+let collect_over_seeds ~trials ~base_seed f =
+  let summary = Stats.Summary.create () in
+  for i = 0 to trials - 1 do
+    Stats.Summary.add_many summary (f ~seed:(base_seed + i))
+  done;
+  summary

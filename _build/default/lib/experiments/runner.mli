@@ -1,0 +1,11 @@
+(** Replication helpers shared by the experiment harnesses. *)
+
+val mean_over_seeds :
+  trials:int -> base_seed:int -> (seed:int -> float) -> Stats.Summary.t
+(** Run the measurement once per seed [base_seed + 0 .. trials-1] and
+    summarize. *)
+
+val collect_over_seeds :
+  trials:int -> base_seed:int -> (seed:int -> float list) -> Stats.Summary.t
+(** Like {!mean_over_seeds} for measurements that yield several samples
+    per run. *)

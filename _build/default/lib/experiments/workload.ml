@@ -1,0 +1,22 @@
+let independent ~rng ~p_reach _node = Engine.Rng.bernoulli rng ~p:p_reach
+
+let regional ~rng ~topology ~p_region_reach ~p_member_reach () =
+  let region_reached =
+    List.map
+      (fun region -> (region, Engine.Rng.bernoulli rng ~p:p_region_reach))
+      (Topology.regions topology)
+  in
+  fun node ->
+    match Topology.region_of topology node with
+    | None -> false
+    | Some region ->
+      (match List.assoc_opt region region_reached with
+       | Some true -> Engine.Rng.bernoulli rng ~p:p_member_reach
+       | Some false | None -> false)
+
+let holders set node = Array.exists (Node_id.equal node) set
+
+let sample_holders ~rng ~topology ~count =
+  let nodes = Topology.all_nodes topology in
+  if count > Array.length nodes then invalid_arg "Workload.sample_holders: count too large";
+  Engine.Rng.sample_without_replacement rng count nodes

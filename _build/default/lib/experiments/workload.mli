@@ -1,0 +1,34 @@
+(** Initial-multicast outcome generators.
+
+    The paper's experiments control which receivers hold a message
+    after the initial IP multicast. These helpers build the [reach]
+    predicates for {!Rrmp.Group.multicast_reaching}: independent
+    per-receiver loss, loss correlated by region (an upstream link
+    dropping the packet for a whole subtree — the pattern that makes
+    remote recovery necessary), and exact holder sets. *)
+
+val independent : rng:Engine.Rng.t -> p_reach:float -> Node_id.t -> bool
+(** Each receiver gets the packet independently with [p_reach].
+    Partially applied: [independent ~rng ~p_reach] is a fresh reach
+    predicate (one coin per queried receiver). *)
+
+val regional :
+  rng:Engine.Rng.t ->
+  topology:Topology.t ->
+  p_region_reach:float ->
+  p_member_reach:float ->
+  unit ->
+  Node_id.t -> bool
+(** Two-level loss: each region is reached with [p_region_reach]
+    (sampled once per region at creation); members of reached regions
+    then get the packet with [p_member_reach]; members of missed
+    regions get nothing. Models an upstream-link loss hitting the
+    whole subtree. *)
+
+val holders : Node_id.t array -> Node_id.t -> bool
+(** Exactly the given set is reached. *)
+
+val sample_holders :
+  rng:Engine.Rng.t -> topology:Topology.t -> count:int -> Node_id.t array
+(** A uniform random holder set of the given size.
+    @raise Invalid_argument if [count] exceeds the live membership. *)

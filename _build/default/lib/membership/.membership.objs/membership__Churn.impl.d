@@ -1,0 +1,1 @@
+lib/membership/churn.ml: Array Engine List Node_id Region_id Seq Topology

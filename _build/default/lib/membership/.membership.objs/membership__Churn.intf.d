@@ -1,0 +1,1 @@
+lib/membership/churn.mli: Engine Node_id Topology

@@ -1,0 +1,1 @@
+lib/membership/gossip_fd.ml: Array Engine List Node_id Option

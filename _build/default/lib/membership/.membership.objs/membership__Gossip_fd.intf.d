@@ -1,0 +1,1 @@
+lib/membership/gossip_fd.mli: Engine Node_id

@@ -1,0 +1,1 @@
+lib/membership/view.mli: Engine Node_id Region_id Topology

@@ -1,0 +1,81 @@
+type event = Join of Node_id.t | Leave of Node_id.t
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  topology : Topology.t;
+  join_rate : float;
+  leave_rate : float;
+  protect : Node_id.t list;
+  min_region_size : int;
+  on_event : event -> unit;
+  mutable stopped : bool;
+  mutable joins : int;
+  mutable leaves : int;
+}
+
+let schedule_next t rate action =
+  if rate > 0.0 then begin
+    let delay = Engine.Rng.exponential t.rng ~mean:(1.0 /. rate) in
+    ignore (Engine.Sim.schedule t.sim ~delay (fun () -> if not t.stopped then action ()))
+  end
+
+let do_join t =
+  let r = Engine.Rng.int t.rng (Topology.region_count t.topology) in
+  let node = Topology.add_node t.topology (Region_id.of_int r) in
+  t.joins <- t.joins + 1;
+  t.on_event (Join node)
+
+let removable t node =
+  (not (List.exists (Node_id.equal node) t.protect))
+  &&
+  match Topology.region_of t.topology node with
+  | None -> false
+  | Some r -> Topology.region_size t.topology r > t.min_region_size
+
+let do_leave t =
+  let candidates =
+    Topology.all_nodes t.topology |> Array.to_seq
+    |> Seq.filter (removable t)
+    |> Array.of_seq
+  in
+  if Array.length candidates > 0 then begin
+    let node = Engine.Rng.pick t.rng candidates in
+    t.leaves <- t.leaves + 1;
+    t.on_event (Leave node);
+    Topology.remove_node t.topology node
+  end
+
+let start ~sim ~rng ~topology ~join_rate ~leave_rate ?(protect = []) ?(min_region_size = 1)
+    ~on_event () =
+  let t =
+    {
+      sim;
+      rng;
+      topology;
+      join_rate;
+      leave_rate;
+      protect;
+      min_region_size;
+      on_event;
+      stopped = false;
+      joins = 0;
+      leaves = 0;
+    }
+  in
+  let rec join_loop () =
+    do_join t;
+    schedule_next t t.join_rate join_loop
+  and leave_loop () =
+    do_leave t;
+    schedule_next t t.leave_rate leave_loop
+  in
+  schedule_next t t.join_rate join_loop;
+  schedule_next t t.leave_rate leave_loop;
+  t
+
+let stop t = t.stopped <- true
+
+let joins t = t.joins
+
+let leaves t = t.leaves

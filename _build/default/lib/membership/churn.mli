@@ -1,0 +1,34 @@
+(** Poisson join/leave workload driving a {!Topology.t}.
+
+    Joins create a fresh node in a random region; leaves remove a
+    random live node (never the protected sender). The host observes
+    both through callbacks so it can spin protocol state up or down —
+    in RRMP a voluntary leave must hand off the long-term buffer
+    (Section 3.2). *)
+
+type t
+
+type event = Join of Node_id.t | Leave of Node_id.t
+
+val start :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  topology:Topology.t ->
+  join_rate:float ->
+  leave_rate:float ->
+  ?protect:Node_id.t list ->
+  ?min_region_size:int ->
+  on_event:(event -> unit) ->
+  unit ->
+  t
+(** Rates are events per millisecond (exponential inter-arrival).
+    A rate of 0 disables that event kind. [on_event (Leave n)] fires
+    {e before} the node is removed from the topology, so the handler
+    can still read its region; [on_event (Join n)] fires after
+    insertion. Leaves respect [min_region_size] (default 1). *)
+
+val stop : t -> unit
+
+val joins : t -> int
+
+val leaves : t -> int

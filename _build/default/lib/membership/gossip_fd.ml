@@ -1,0 +1,87 @@
+type digest = (Node_id.t * int) list
+
+type entry = { mutable counter : int; mutable last_increase : float }
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  self : Node_id.t;
+  mutable peers : Node_id.t array;
+  fail_timeout : float;
+  send : dst:Node_id.t -> digest -> unit;
+  table : entry Node_id.Table.t;
+  mutable ticker : Engine.Timer.Periodic.t option;
+}
+
+let entry_for t node =
+  match Node_id.Table.find_opt t.table node with
+  | Some e -> e
+  | None ->
+    let e = { counter = 0; last_increase = Engine.Sim.now t.sim } in
+    Node_id.Table.add t.table node e;
+    e
+
+let digest_of t =
+  Node_id.Table.fold (fun node e acc -> (node, e.counter) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+
+let tick t () =
+  let self_entry = entry_for t t.self in
+  self_entry.counter <- self_entry.counter + 1;
+  self_entry.last_increase <- Engine.Sim.now t.sim;
+  if Array.length t.peers > 0 then begin
+    let dst = Engine.Rng.pick t.rng t.peers in
+    t.send ~dst (digest_of t)
+  end
+
+let create ~sim ~rng ~self ~peers ~gossip_interval ~fail_timeout ~send () =
+  let t =
+    { sim; rng; self; peers; fail_timeout; send;
+      table = Node_id.Table.create 64; ticker = None }
+  in
+  ignore (entry_for t self);
+  t.ticker <- Some (Engine.Timer.Periodic.create sim ~interval:gossip_interval (tick t));
+  t
+
+let self t = t.self
+
+let on_gossip t digest =
+  let now = Engine.Sim.now t.sim in
+  List.iter
+    (fun (node, counter) ->
+      let e = entry_for t node in
+      if counter > e.counter then begin
+        e.counter <- counter;
+        e.last_increase <- now
+      end)
+    digest
+
+let heartbeat_of t node =
+  Option.map (fun e -> e.counter) (Node_id.Table.find_opt t.table node)
+
+let stale t e = Engine.Sim.now t.sim -. e.last_increase >= t.fail_timeout
+
+let suspects t =
+  Node_id.Table.fold
+    (fun node e acc ->
+      if Node_id.equal node t.self then acc
+      else if stale t e then node :: acc
+      else acc)
+    t.table []
+  |> List.sort Node_id.compare
+
+let is_suspected t node =
+  if Node_id.equal node t.self then false
+  else
+    match Node_id.Table.find_opt t.table node with
+    | None -> false
+    | Some e -> stale t e
+
+let set_peers t peers = t.peers <- peers
+
+let stop t =
+  match t.ticker with
+  | None -> ()
+  | Some ticker ->
+    Engine.Timer.Periodic.stop ticker;
+    t.ticker <- None

@@ -1,0 +1,51 @@
+(** Gossip-style failure detection (van Renesse, Minsky & Hayden,
+    Middleware 1998) — the failure-detection substrate RRMP builds on.
+
+    Each member keeps a heartbeat counter per known member. Every
+    [gossip_interval] it increments its own counter and sends its whole
+    table to one random peer; receivers merge by taking the max per
+    entry and remember the local time of the last increase. A member
+    whose counter hasn't increased for [fail_timeout] is suspected.
+
+    The module is transport-agnostic: the host wires [send] to its
+    network and feeds inbound tables to {!on_gossip}. *)
+
+type digest = (Node_id.t * int) list
+(** A gossiped heartbeat table. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  self:Node_id.t ->
+  peers:Node_id.t array ->
+  gossip_interval:float ->
+  fail_timeout:float ->
+  send:(dst:Node_id.t -> digest -> unit) ->
+  unit ->
+  t
+(** Starts gossiping immediately. [peers] is the set of members this
+    node may gossip to (usually its region view). *)
+
+val self : t -> Node_id.t
+
+val on_gossip : t -> digest -> unit
+(** Merge an inbound heartbeat table. *)
+
+val heartbeat_of : t -> Node_id.t -> int option
+(** Current counter for a member; [None] if never heard of. *)
+
+val suspects : t -> Node_id.t list
+(** Members whose counter is stale by at least [fail_timeout], sorted.
+    The node itself is never suspected. *)
+
+val is_suspected : t -> Node_id.t -> bool
+(** A member we have never heard from is not suspected until
+    [fail_timeout] after it first appears in a digest. *)
+
+val set_peers : t -> Node_id.t array -> unit
+(** Replace the gossip target set (e.g. after a view refresh). *)
+
+val stop : t -> unit
+(** Stop gossiping (the node leaves). *)

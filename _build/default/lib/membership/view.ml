@@ -1,0 +1,52 @@
+type t = {
+  topology : Topology.t;
+  owner : Node_id.t;
+  home : Region_id.t;
+  mutable local : Node_id.t array;
+  mutable parent : Node_id.t array;
+}
+
+let refresh t =
+  if Topology.is_member t.topology t.owner then begin
+    t.local <- Topology.members_except t.topology t.home t.owner;
+    t.parent <-
+      (match Topology.parent t.topology t.home with
+       | None -> [||]
+       | Some p -> Topology.members t.topology p)
+  end
+
+let create topology ~owner =
+  match Topology.region_of topology owner with
+  | None -> invalid_arg "View.create: owner is not a member"
+  | Some home ->
+    let t = { topology; owner; home; local = [||]; parent = [||] } in
+    refresh t;
+    t
+
+let owner t = t.owner
+
+let region t = t.home
+
+let parent_region t = Topology.parent t.topology t.home
+
+let local_members t = t.local
+
+let parent_members t = t.parent
+
+let local_size t = Array.length t.local + 1
+
+let knows t node =
+  Node_id.equal node t.owner
+  || Array.exists (Node_id.equal node) t.local
+  || Array.exists (Node_id.equal node) t.parent
+
+let random_in arr rng =
+  if Array.length arr = 0 then None else Some (Engine.Rng.pick rng arr)
+
+let random_local t rng = random_in t.local rng
+
+let random_parent t rng = random_in t.parent rng
+
+let random_local_other t rng ~not_equal =
+  let candidates = Array.of_seq (Seq.filter (fun m -> not (Node_id.equal m not_equal)) (Array.to_seq t.local)) in
+  random_in candidates rng

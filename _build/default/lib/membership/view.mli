@@ -1,0 +1,47 @@
+(** A member's (possibly stale) knowledge of group membership.
+
+    RRMP assumes each receiver knows the members of its own region and
+    of its parent region (Section 2.1), and that this knowledge "need
+    not be accurate" as long as the group doesn't partition logically.
+    A [t] snapshots those two sets from the ground-truth topology; a
+    view refreshed with a period models staleness: nodes that joined or
+    left since the last refresh are invisible until the next one. *)
+
+type t
+
+val create : Topology.t -> owner:Node_id.t -> t
+(** Immediately refreshed at creation.
+    @raise Invalid_argument if [owner] is not currently a member. *)
+
+val owner : t -> Node_id.t
+
+val region : t -> Region_id.t
+(** The owner's region at the last refresh. *)
+
+val parent_region : t -> Region_id.t option
+
+val refresh : t -> unit
+(** Re-snapshot both sets from the topology. No-op (and keeps the last
+    snapshot) if the owner has left. *)
+
+val local_members : t -> Node_id.t array
+(** Known members of the owner's region, never including the owner. *)
+
+val parent_members : t -> Node_id.t array
+(** Known members of the parent region; empty when there is none. *)
+
+val local_size : t -> int
+(** Known region size including the owner (the [n] of the paper's
+    [P = C/n] computation). *)
+
+val knows : t -> Node_id.t -> bool
+(** Whether the node appears in either snapshot (or is the owner). *)
+
+val random_local : t -> Engine.Rng.t -> Node_id.t option
+(** Uniform pick among known local members (never the owner). *)
+
+val random_parent : t -> Engine.Rng.t -> Node_id.t option
+
+val random_local_other : t -> Engine.Rng.t -> not_equal:Node_id.t -> Node_id.t option
+(** Uniform among local members that are neither the owner nor
+    [not_equal]. *)

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Engine Float Hashtbl Latency List Loss Node_id String Topology

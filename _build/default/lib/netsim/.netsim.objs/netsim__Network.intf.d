@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Engine Latency Loss Node_id Region_id Topology

@@ -1,0 +1,196 @@
+type 'msg delivery = {
+  src : Node_id.t;
+  dst : Node_id.t;
+  msg : 'msg;
+  sent_at : float;
+  cls : string;
+}
+
+type 'msg bandwidth = { bytes_per_ms : float; packet_bytes : 'msg -> int }
+
+type counter = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_dead : int;
+}
+
+type mutable_counter = {
+  mutable m_sent : int;
+  mutable m_delivered : int;
+  mutable m_dropped_loss : int;
+  mutable m_dropped_dead : int;
+}
+
+type 'msg t = {
+  sim : Engine.Sim.t;
+  topology : Topology.t;
+  latency : Latency.t;
+  loss : Loss.t;
+  rng : Engine.Rng.t;
+  handlers : ('msg delivery -> unit) Node_id.Table.t;
+  counters : (string, mutable_counter) Hashtbl.t;
+  mutable hook : ('msg delivery -> unit) option;
+  bandwidth : 'msg bandwidth option;
+  egress_free_at : float Node_id.Table.t;  (* per-src link-free time *)
+}
+
+let create ~sim ~topology ~latency ~loss ~rng ?bandwidth () =
+  (match bandwidth with
+   | Some b when b.bytes_per_ms <= 0.0 ->
+     invalid_arg "Network.create: bandwidth must be positive"
+   | Some _ | None -> ());
+  {
+    sim;
+    topology;
+    latency;
+    loss;
+    rng;
+    handlers = Node_id.Table.create 256;
+    counters = Hashtbl.create 16;
+    hook = None;
+    bandwidth;
+    egress_free_at = Node_id.Table.create 64;
+  }
+
+let sim t = t.sim
+
+let topology t = t.topology
+
+let latency t = t.latency
+
+let register t node handler = Node_id.Table.replace t.handlers node handler
+
+let unregister t node = Node_id.Table.remove t.handlers node
+
+let counter_for t cls =
+  match Hashtbl.find_opt t.counters cls with
+  | Some c -> c
+  | None ->
+    let c = { m_sent = 0; m_delivered = 0; m_dropped_loss = 0; m_dropped_dead = 0 } in
+    Hashtbl.add t.counters cls c;
+    c
+
+let delay_between t ~src ~dst =
+  match (Topology.region_of t.topology src, Topology.region_of t.topology dst) with
+  | Some ra, Some rb ->
+    let hops = Topology.hops t.topology ra rb in
+    if hops = 0 then Latency.intra t.latency t.rng
+    else Latency.inter t.latency ~hops t.rng
+  | _ ->
+    (* endpoint left mid-flight bookkeeping happens at delivery; just
+       charge an intra-region delay *)
+    Latency.intra t.latency t.rng
+
+let deliver t ~cls ~src ~dst ~sent_at msg =
+  let c = counter_for t cls in
+  if not (Topology.is_member t.topology dst) then
+    c.m_dropped_dead <- c.m_dropped_dead + 1
+  else
+    match Node_id.Table.find_opt t.handlers dst with
+    | None -> c.m_dropped_dead <- c.m_dropped_dead + 1
+    | Some handler ->
+      c.m_delivered <- c.m_delivered + 1;
+      let delivery = { src; dst; msg; sent_at; cls } in
+      (match t.hook with None -> () | Some observe -> observe delivery);
+      handler delivery
+
+(* serialization delay at the sender's egress: the packet departs when
+   the link frees up, occupying it for size/rate ms *)
+let egress_delay t ~src msg =
+  match t.bandwidth with
+  | None -> 0.0
+  | Some b ->
+    let now = Engine.Sim.now t.sim in
+    let free_at =
+      match Node_id.Table.find_opt t.egress_free_at src with
+      | Some at -> Float.max at now
+      | None -> now
+    in
+    let transmission = float_of_int (b.packet_bytes msg) /. b.bytes_per_ms in
+    let departs = free_at +. transmission in
+    Node_id.Table.replace t.egress_free_at src departs;
+    departs -. now
+
+let send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
+  let c = counter_for t cls in
+  c.m_sent <- c.m_sent + 1;
+  if lossy && Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+  else begin
+    let sent_at = Engine.Sim.now t.sim in
+    let delay = extra_delay +. delay_between t ~src ~dst in
+    ignore
+      (Engine.Sim.schedule t.sim ~delay (fun () ->
+           deliver t ~cls ~src ~dst ~sent_at msg))
+  end
+
+let unicast t ~cls ~src ~dst msg =
+  let extra_delay = egress_delay t ~src msg in
+  send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg
+
+(* a multicast is one transmission at the source: the egress is charged
+   once, not per receiver *)
+let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
+  let extra_delay = egress_delay t ~src msg in
+  let members = Topology.members t.topology region in
+  Array.iter
+    (fun dst ->
+      if include_src || not (Node_id.equal dst src) then
+        send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
+    members
+
+let ip_multicast t ~cls ~src ~reach msg =
+  let extra_delay = egress_delay t ~src msg in
+  Array.iter
+    (fun dst ->
+      if not (Node_id.equal dst src) then begin
+        let c = counter_for t cls in
+        c.m_sent <- c.m_sent + 1;
+        if reach dst then begin
+          let sent_at = Engine.Sim.now t.sim in
+          let delay = extra_delay +. delay_between t ~src ~dst in
+          ignore
+            (Engine.Sim.schedule t.sim ~delay (fun () ->
+                 deliver t ~cls ~src ~dst ~sent_at msg))
+        end
+        else c.m_dropped_loss <- c.m_dropped_loss + 1
+      end)
+    (Topology.all_nodes t.topology)
+
+let ip_multicast_lossy t ~cls ~src msg =
+  let extra_delay = egress_delay t ~src msg in
+  Array.iter
+    (fun dst ->
+      if not (Node_id.equal dst src) then
+        send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
+    (Topology.all_nodes t.topology)
+
+let stats t ~cls =
+  match Hashtbl.find_opt t.counters cls with
+  | None -> { sent = 0; delivered = 0; dropped_loss = 0; dropped_dead = 0 }
+  | Some c ->
+    {
+      sent = c.m_sent;
+      delivered = c.m_delivered;
+      dropped_loss = c.m_dropped_loss;
+      dropped_dead = c.m_dropped_dead;
+    }
+
+let classes t =
+  Hashtbl.fold (fun cls _ acc -> cls :: acc) t.counters [] |> List.sort String.compare
+
+let total_sent t = Hashtbl.fold (fun _ c acc -> acc + c.m_sent) t.counters 0
+
+let total_delivered t = Hashtbl.fold (fun _ c acc -> acc + c.m_delivered) t.counters 0
+
+let reset_stats t = Hashtbl.reset t.counters
+
+let set_delivery_hook t hook = t.hook <- hook
+
+let egress_backlog t node =
+  match t.bandwidth with
+  | None -> 0.0
+  | Some _ ->
+    (match Node_id.Table.find_opt t.egress_free_at node with
+     | None -> 0.0
+     | Some at -> Float.max 0.0 (at -. Engine.Sim.now t.sim))

@@ -1,0 +1,1 @@
+lib/protocol/gap_detect.ml: Int List Set

@@ -1,0 +1,1 @@
+lib/protocol/gap_detect.mli:

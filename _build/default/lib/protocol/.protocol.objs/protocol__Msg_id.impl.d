@@ -1,0 +1,1 @@
+lib/protocol/msg_id.ml: Format Hashtbl Int Map Node_id Set

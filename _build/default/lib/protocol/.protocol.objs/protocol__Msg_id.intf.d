@@ -1,0 +1,1 @@
+lib/protocol/msg_id.mli: Format Hashtbl Map Node_id Set

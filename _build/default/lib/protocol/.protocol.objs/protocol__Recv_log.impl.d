@@ -1,0 +1,1 @@
+lib/protocol/recv_log.ml: Gap_detect List Msg_id Node_id

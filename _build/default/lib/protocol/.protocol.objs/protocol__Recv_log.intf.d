@@ -1,0 +1,1 @@
+lib/protocol/recv_log.mli: Msg_id Node_id

@@ -1,0 +1,38 @@
+type t = { source : Node_id.t; seq : int }
+
+let make ~source ~seq =
+  if seq < 0 then invalid_arg "Msg_id.make: negative sequence number";
+  { source; seq }
+
+let source t = t.source
+
+let seq t = t.seq
+
+let equal a b = Node_id.equal a.source b.source && Int.equal a.seq b.seq
+
+let compare a b =
+  let c = Node_id.compare a.source b.source in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let hash t = Hashtbl.hash (Node_id.to_int t.source, t.seq)
+
+let pp fmt t = Format.fprintf fmt "%a#%d" Node_id.pp t.source t.seq
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

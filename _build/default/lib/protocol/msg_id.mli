@@ -1,0 +1,28 @@
+(** Message identifier: [source address, sequence number] — the
+    "commonly used identifier" of the paper (footnote 2). *)
+
+type t = { source : Node_id.t; seq : int }
+
+val make : source:Node_id.t -> seq:int -> t
+(** @raise Invalid_argument on negative sequence number. *)
+
+val source : t -> Node_id.t
+
+val seq : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by source, then sequence number. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+module Table : Hashtbl.S with type key = t

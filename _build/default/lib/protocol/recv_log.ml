@@ -1,0 +1,70 @@
+type t = {
+  per_source : Gap_detect.t Node_id.Table.t;
+  mutable duplicates : int;
+}
+
+type verdict = Fresh of Msg_id.t list | Duplicate
+
+let create () = { per_source = Node_id.Table.create 4; duplicates = 0 }
+
+let detector t source =
+  match Node_id.Table.find_opt t.per_source source with
+  | Some d -> d
+  | None ->
+    let d = Gap_detect.create () in
+    Node_id.Table.add t.per_source source d;
+    d
+
+let ids_of source seqs = List.map (fun seq -> Msg_id.make ~source ~seq) seqs
+
+let note_data t id =
+  let source = Msg_id.source id in
+  match Gap_detect.note_data (detector t source) (Msg_id.seq id) with
+  | `Duplicate ->
+    t.duplicates <- t.duplicates + 1;
+    Duplicate
+  | `Fresh gaps -> Fresh (ids_of source gaps)
+
+let note_session t ~source ~max_seq =
+  ids_of source (Gap_detect.note_session (detector t source) ~max_seq)
+
+let note_repaired t id =
+  let d = detector t (Msg_id.source id) in
+  if Gap_detect.received d (Msg_id.seq id) then begin
+    t.duplicates <- t.duplicates + 1;
+    false
+  end
+  else begin
+    Gap_detect.note_repaired d (Msg_id.seq id);
+    true
+  end
+
+let received t id = Gap_detect.received (detector t (Msg_id.source id)) (Msg_id.seq id)
+
+let fold f t init =
+  Node_id.Table.fold (fun source d acc -> f source d acc) t.per_source init
+
+let missing t =
+  fold (fun source d acc -> ids_of source (Gap_detect.missing d) @ acc) t []
+  |> List.sort Msg_id.compare
+
+let missing_count t = fold (fun _ d acc -> acc + Gap_detect.missing_count d) t 0
+
+let received_count t = fold (fun _ d acc -> acc + Gap_detect.received_count d) t 0
+
+let duplicates t = t.duplicates
+
+let sources t = fold (fun source _ acc -> source :: acc) t [] |> List.sort Node_id.compare
+
+type digest = (Node_id.t * (int * int list)) list
+
+let digest t =
+  fold (fun source d acc -> (source, Gap_detect.digest d) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+
+let digest_has digest id =
+  match List.assoc_opt (Msg_id.source id) digest with
+  | None -> false
+  | Some (horizon, missing) ->
+    let seq = Msg_id.seq id in
+    seq <= horizon && not (List.mem seq missing)

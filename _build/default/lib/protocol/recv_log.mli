@@ -1,0 +1,41 @@
+(** Per-receiver reception state across (possibly) multiple sources:
+    a {!Gap_detect.t} per source plus duplicate accounting. *)
+
+type t
+
+val create : unit -> t
+
+type verdict = Fresh of Msg_id.t list | Duplicate
+(** [Fresh losses] carries the message ids newly detected as lost. *)
+
+val note_data : t -> Msg_id.t -> verdict
+
+val note_session : t -> source:Node_id.t -> max_seq:int -> Msg_id.t list
+(** Newly detected losses triggered by a session message. *)
+
+val note_repaired : t -> Msg_id.t -> bool
+(** [true] if this repaired a message we did not have (i.e. it was
+    useful, not a duplicate repair). *)
+
+val received : t -> Msg_id.t -> bool
+
+val missing : t -> Msg_id.t list
+(** All detected, unrepaired losses across sources. *)
+
+val missing_count : t -> int
+
+val received_count : t -> int
+
+val duplicates : t -> int
+(** Data packets and repairs that carried nothing new. *)
+
+val sources : t -> Node_id.t list
+
+type digest = (Node_id.t * (int * int list)) list
+(** Per source: (horizon, missing seqs) — see {!Gap_detect.digest}. *)
+
+val digest : t -> digest
+(** Sorted by source. *)
+
+val digest_has : digest -> Msg_id.t -> bool
+(** Whether the digest's owner has received the given message. *)

@@ -1,0 +1,1 @@
+lib/rrmp/rrmp.ml: Buffer Config Events Group Long_term Member Model Payload Wire

@@ -1,0 +1,1 @@
+lib/rrmp/buffer.ml: Engine List Option Payload Protocol

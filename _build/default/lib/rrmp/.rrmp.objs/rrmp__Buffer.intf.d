@@ -1,0 +1,1 @@
+lib/rrmp/buffer.mli: Engine Payload Protocol

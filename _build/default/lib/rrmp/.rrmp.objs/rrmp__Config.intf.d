@@ -1,0 +1,1 @@
+lib/rrmp/config.mli: Format

@@ -1,0 +1,1 @@
+lib/rrmp/events.ml: Buffer Node_id Printf Protocol Tracing

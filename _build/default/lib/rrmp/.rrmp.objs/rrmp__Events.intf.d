@@ -1,0 +1,1 @@
+lib/rrmp/events.mli: Buffer Node_id Protocol Tracing

@@ -1,0 +1,1 @@
+lib/rrmp/group.ml: Array Config Engine Events Latency List Loss Member Netsim Node_id Option Topology Wire

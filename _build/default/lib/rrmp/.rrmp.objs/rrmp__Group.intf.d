@@ -1,0 +1,1 @@
+lib/rrmp/group.mli: Config Engine Events Latency Loss Member Netsim Node_id Protocol Region_id Topology Wire

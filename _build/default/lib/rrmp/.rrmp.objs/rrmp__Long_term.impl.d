@@ -1,0 +1,1 @@
+lib/rrmp/long_term.ml: Array Engine Float Int64 Node_id Protocol Seq

@@ -1,0 +1,1 @@
+lib/rrmp/long_term.mli: Engine Node_id Protocol

@@ -1,0 +1,1 @@
+lib/rrmp/member.ml: Array Buffer Config Engine Events Float Latency List Long_term Membership Netsim Node_id Option Payload Protocol Topology Wire

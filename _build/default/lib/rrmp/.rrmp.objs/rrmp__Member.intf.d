@@ -1,0 +1,1 @@
+lib/rrmp/member.mli: Buffer Config Engine Events Membership Netsim Node_id Payload Protocol Wire

@@ -1,0 +1,1 @@
+lib/rrmp/model.mli:

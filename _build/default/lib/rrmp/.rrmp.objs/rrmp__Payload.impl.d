@@ -1,0 +1,1 @@
+lib/rrmp/payload.ml: Format Int Protocol

@@ -1,0 +1,1 @@
+lib/rrmp/payload.mli: Format Protocol

@@ -1,0 +1,1 @@
+lib/rrmp/wire.ml: Format List Node_id Payload Protocol

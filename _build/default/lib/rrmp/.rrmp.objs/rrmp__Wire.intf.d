@@ -1,0 +1,1 @@
+lib/rrmp/wire.mli: Format Node_id Payload Protocol

@@ -1,0 +1,103 @@
+type phase = Short_term | Long_term
+
+type entry = { payload : Payload.t; mutable phase : phase; stored_at : float }
+
+type t = {
+  sim : Engine.Sim.t;
+  entries : entry Protocol.Msg_id.Table.t;
+  mutable bytes : int;
+  mutable last_change : float;
+  mutable msg_ms : float;
+  mutable byte_ms : float;
+  mutable peak_size : int;
+  mutable peak_bytes : int;
+}
+
+let create ~sim =
+  {
+    sim;
+    entries = Protocol.Msg_id.Table.create 64;
+    bytes = 0;
+    last_change = Engine.Sim.now sim;
+    msg_ms = 0.0;
+    byte_ms = 0.0;
+    peak_size = 0;
+    peak_bytes = 0;
+  }
+
+let size t = Protocol.Msg_id.Table.length t.entries
+
+(* accumulate occupancy integrals up to the current instant *)
+let settle t =
+  let now = Engine.Sim.now t.sim in
+  let dt = now -. t.last_change in
+  if dt > 0.0 then begin
+    t.msg_ms <- t.msg_ms +. (float_of_int (size t) *. dt);
+    t.byte_ms <- t.byte_ms +. (float_of_int t.bytes *. dt)
+  end;
+  t.last_change <- now
+
+let insert t ~phase payload =
+  let id = Payload.id payload in
+  if Protocol.Msg_id.Table.mem t.entries id then false
+  else begin
+    settle t;
+    Protocol.Msg_id.Table.add t.entries id
+      { payload; phase; stored_at = Engine.Sim.now t.sim };
+    t.bytes <- t.bytes + Payload.size payload;
+    if size t > t.peak_size then t.peak_size <- size t;
+    if t.bytes > t.peak_bytes then t.peak_bytes <- t.bytes;
+    true
+  end
+
+let find t id =
+  Option.map (fun e -> e.payload) (Protocol.Msg_id.Table.find_opt t.entries id)
+
+let mem t id = Protocol.Msg_id.Table.mem t.entries id
+
+let phase_of t id =
+  Option.map (fun e -> e.phase) (Protocol.Msg_id.Table.find_opt t.entries id)
+
+let promote t id =
+  match Protocol.Msg_id.Table.find_opt t.entries id with
+  | None -> invalid_arg "Buffer.promote: message not buffered"
+  | Some e -> e.phase <- Long_term
+
+let remove t id =
+  match Protocol.Msg_id.Table.find_opt t.entries id with
+  | None -> None
+  | Some e ->
+    settle t;
+    Protocol.Msg_id.Table.remove t.entries id;
+    t.bytes <- t.bytes - Payload.size e.payload;
+    Some e.payload
+
+let stored_at t id =
+  Option.map (fun e -> e.stored_at) (Protocol.Msg_id.Table.find_opt t.entries id)
+
+let bytes t = t.bytes
+
+let count_phase t phase =
+  Protocol.Msg_id.Table.fold
+    (fun _ e acc -> if e.phase = phase then acc + 1 else acc)
+    t.entries 0
+
+let contents t =
+  Protocol.Msg_id.Table.fold (fun _ e acc -> (e.payload, e.phase) :: acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> Protocol.Msg_id.compare (Payload.id a) (Payload.id b))
+
+let long_term_payloads t =
+  contents t
+  |> List.filter_map (fun (p, phase) -> if phase = Long_term then Some p else None)
+
+let occupancy_msg_ms t =
+  settle t;
+  t.msg_ms
+
+let occupancy_byte_ms t =
+  settle t;
+  t.byte_ms
+
+let peak_size t = t.peak_size
+
+let peak_bytes t = t.peak_bytes

@@ -1,0 +1,54 @@
+(** A member's retransmission buffer.
+
+    Entries are in one of the two phases of Section 3: [Short_term]
+    (feedback-based: discarded once idle unless promoted) or
+    [Long_term] (kept by the randomly chosen bufferers of an idle
+    message). The buffer also accounts for occupancy over time — the
+    integral of buffered bytes (and message count) over virtual time —
+    which the overhead experiments report. *)
+
+type phase = Short_term | Long_term
+
+type t
+
+val create : sim:Engine.Sim.t -> t
+
+val insert : t -> phase:phase -> Payload.t -> bool
+(** [false] (and no change) if the message was already present. *)
+
+val find : t -> Protocol.Msg_id.t -> Payload.t option
+
+val mem : t -> Protocol.Msg_id.t -> bool
+
+val phase_of : t -> Protocol.Msg_id.t -> phase option
+
+val promote : t -> Protocol.Msg_id.t -> unit
+(** Move an entry to [Long_term]. @raise Invalid_argument if absent. *)
+
+val remove : t -> Protocol.Msg_id.t -> Payload.t option
+(** Discard an entry; [None] if it was not buffered. *)
+
+val stored_at : t -> Protocol.Msg_id.t -> float option
+(** Virtual time the entry was inserted. *)
+
+val size : t -> int
+(** Number of buffered messages. *)
+
+val bytes : t -> int
+
+val count_phase : t -> phase -> int
+
+val contents : t -> (Payload.t * phase) list
+(** Sorted by message id. *)
+
+val long_term_payloads : t -> Payload.t list
+(** What a leaving member must hand off, sorted by id. *)
+
+val occupancy_msg_ms : t -> float
+(** Integral of (buffered message count) d(time), up to now. *)
+
+val occupancy_byte_ms : t -> float
+
+val peak_size : t -> int
+
+val peak_bytes : t -> int

@@ -1,0 +1,65 @@
+type t =
+  | Delivered of { id : Protocol.Msg_id.t; via : [ `Multicast | `Repair | `Regional ] }
+  | Loss_detected of Protocol.Msg_id.t
+  | Recovered of { id : Protocol.Msg_id.t; latency : float; local_tries : int }
+  | Buffered of { id : Protocol.Msg_id.t; phase : Buffer.phase }
+  | Became_idle of { id : Protocol.Msg_id.t; buffered_for : float }
+  | Promoted_long_term of Protocol.Msg_id.t
+  | Discarded of { id : Protocol.Msg_id.t; phase : Buffer.phase; buffered_for : float }
+  | Search_started of Protocol.Msg_id.t
+  | Search_satisfied of { id : Protocol.Msg_id.t; origin : Node_id.t }
+  | Handoff_sent of { to_ : Node_id.t; count : int }
+  | Handoff_received of { from : Node_id.t; count : int }
+  | Request_unanswerable of Protocol.Msg_id.t
+
+type observer = time:float -> self:Node_id.t -> t -> unit
+
+let constructor = function
+  | Delivered _ -> "delivered"
+  | Loss_detected _ -> "loss-detected"
+  | Recovered _ -> "recovered"
+  | Buffered _ -> "buffered"
+  | Became_idle _ -> "became-idle"
+  | Promoted_long_term _ -> "promoted-long-term"
+  | Discarded _ -> "discarded"
+  | Search_started _ -> "search-started"
+  | Search_satisfied _ -> "search-satisfied"
+  | Handoff_sent _ -> "handoff-sent"
+  | Handoff_received _ -> "handoff-received"
+  | Request_unanswerable _ -> "request-unanswerable"
+
+let phase_name = function Buffer.Short_term -> "short" | Buffer.Long_term -> "long"
+
+let describe = function
+  | Delivered { id; via } ->
+    Printf.sprintf "delivered %s via %s"
+      (Protocol.Msg_id.to_string id)
+      (match via with `Multicast -> "multicast" | `Repair -> "repair" | `Regional -> "regional")
+  | Loss_detected id -> Printf.sprintf "loss detected %s" (Protocol.Msg_id.to_string id)
+  | Recovered { id; latency; local_tries } ->
+    Printf.sprintf "recovered %s after %.1fms (%d tries)"
+      (Protocol.Msg_id.to_string id) latency local_tries
+  | Buffered { id; phase } ->
+    Printf.sprintf "buffered %s (%s)" (Protocol.Msg_id.to_string id) (phase_name phase)
+  | Became_idle { id; buffered_for } ->
+    Printf.sprintf "idle %s after %.1fms" (Protocol.Msg_id.to_string id) buffered_for
+  | Promoted_long_term id ->
+    Printf.sprintf "long-term bufferer for %s" (Protocol.Msg_id.to_string id)
+  | Discarded { id; phase; buffered_for } ->
+    Printf.sprintf "discarded %s (%s) after %.1fms" (Protocol.Msg_id.to_string id)
+      (phase_name phase) buffered_for
+  | Search_started id -> Printf.sprintf "search started %s" (Protocol.Msg_id.to_string id)
+  | Search_satisfied { id; origin } ->
+    Printf.sprintf "search satisfied %s for %s" (Protocol.Msg_id.to_string id)
+      (Node_id.to_string origin)
+  | Handoff_sent { to_; count } ->
+    Printf.sprintf "handed off %d msgs to %s" count (Node_id.to_string to_)
+  | Handoff_received { from; count } ->
+    Printf.sprintf "received %d handed-off msgs from %s" count (Node_id.to_string from)
+  | Request_unanswerable id ->
+    Printf.sprintf "could not answer request for %s" (Protocol.Msg_id.to_string id)
+
+
+let tracing_observer tracer ~time ~self event =
+  Tracing.Tracer.record tracer ~time ~subject:(Node_id.to_string self)
+    ~event:(constructor event) (describe event)

@@ -1,0 +1,37 @@
+(** Observable protocol events, reported by each {!Member} to an
+    optional observer. Experiment harnesses subscribe to these to
+    measure buffering times, recovery latency, search time, and
+    traffic — without reaching into member internals. *)
+
+type t =
+  | Delivered of { id : Protocol.Msg_id.t; via : [ `Multicast | `Repair | `Regional ] }
+      (** the member obtained the message body for the first time *)
+  | Loss_detected of Protocol.Msg_id.t
+  | Recovered of { id : Protocol.Msg_id.t; latency : float; local_tries : int }
+      (** a detected loss was repaired [latency] ms after detection *)
+  | Buffered of { id : Protocol.Msg_id.t; phase : Buffer.phase }
+  | Became_idle of { id : Protocol.Msg_id.t; buffered_for : float }
+      (** the idle threshold elapsed; [buffered_for] is the short-term
+          buffering time Figure 6 reports *)
+  | Promoted_long_term of Protocol.Msg_id.t
+  | Discarded of { id : Protocol.Msg_id.t; phase : Buffer.phase; buffered_for : float }
+  | Search_started of Protocol.Msg_id.t
+      (** this member initiated a search (request arrived for a
+          discarded message) *)
+  | Search_satisfied of { id : Protocol.Msg_id.t; origin : Node_id.t }
+      (** this member was found to buffer the message and sent the
+          repair towards [origin] *)
+  | Handoff_sent of { to_ : Node_id.t; count : int }
+  | Handoff_received of { from : Node_id.t; count : int }
+  | Request_unanswerable of Protocol.Msg_id.t
+      (** a local request arrived for a message this member doesn't
+          buffer (the requester will time out and retry) *)
+
+type observer = time:float -> self:Node_id.t -> t -> unit
+
+val describe : t -> string
+
+val tracing_observer : Tracing.Tracer.t -> observer
+(** An observer that records every event into the given tracer
+    (subject = the member, event = the constructor, detail =
+    {!describe}). Compose with another observer by calling both. *)

@@ -1,0 +1,129 @@
+module Network = Netsim.Network
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  topology : Topology.t;
+  net : Wire.t Network.t;
+  config : Config.t;
+  observer : Events.observer option;
+  members : Member.t Node_id.Table.t;
+  sender : Node_id.t;
+}
+
+let spawn_member t node =
+  let member =
+    Member.create ~net:t.net ~config:t.config ~rng:(Engine.Rng.split t.rng) ~node
+      ?observer:t.observer ()
+  in
+  Node_id.Table.replace t.members node member;
+  member
+
+let create ?(seed = 1) ?(config = Config.default) ?(latency = Latency.paper_default)
+    ?(loss = Loss.Lossless) ?bandwidth ?observer ~topology () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let loss = Loss.create loss ~rng:(Engine.Rng.split rng) in
+  let bandwidth =
+    Option.map
+      (fun bytes_per_ms -> { Network.bytes_per_ms; Network.packet_bytes = Wire.bytes })
+      bandwidth
+  in
+  let net =
+    Network.create ~sim ~topology ~latency ~loss ~rng:(Engine.Rng.split rng) ?bandwidth ()
+  in
+  let nodes = Topology.all_nodes topology in
+  if Array.length nodes = 0 then invalid_arg "Group.create: empty topology";
+  let t =
+    {
+      sim;
+      rng;
+      topology;
+      net;
+      config;
+      observer;
+      members = Node_id.Table.create (Array.length nodes);
+      sender = nodes.(0);
+    }
+  in
+  Array.iter (fun node -> ignore (spawn_member t node)) nodes;
+  t
+
+let sim t = t.sim
+
+let net t = t.net
+
+let topology t = t.topology
+
+let config t = t.config
+
+let member t node =
+  match Node_id.Table.find_opt t.members node with
+  | Some m when Topology.is_member t.topology node -> m
+  | Some _ | None -> raise Not_found
+
+let sender t = member t t.sender
+
+let live_nodes t = Topology.all_nodes t.topology
+
+let members t =
+  Array.to_list (live_nodes t)
+  |> List.filter_map (fun node -> Node_id.Table.find_opt t.members node)
+
+let members_of_region t region =
+  Array.to_list (Topology.members t.topology region)
+  |> List.filter_map (fun node -> Node_id.Table.find_opt t.members node)
+
+let multicast t ?size () = Member.multicast (sender t) ?size ()
+
+let multicast_reaching t ?size ~reach () =
+  Member.multicast_reaching (sender t) ?size ~reach ()
+
+let run ?until ?max_events t = Engine.Sim.run ?until ?max_events t.sim
+
+let now t = Engine.Sim.now t.sim
+
+let refresh_views t = List.iter Member.refresh_view (members t)
+
+let join t region =
+  let node = Topology.add_node t.topology region in
+  let member = spawn_member t node in
+  refresh_views t;
+  member
+
+let leave t node =
+  let m = member t node in
+  Member.leave m;
+  Topology.remove_node t.topology node;
+  Node_id.Table.remove t.members node;
+  refresh_views t
+
+let crash t node =
+  let m = member t node in
+  Member.crash m;
+  Topology.remove_node t.topology node;
+  Node_id.Table.remove t.members node;
+  refresh_views t
+
+let enable_failure_detection t ~gossip_interval ~fail_timeout =
+  List.iter
+    (fun m -> Member.enable_failure_detection m ~gossip_interval ~fail_timeout)
+    (members t)
+
+let count_if t predicate =
+  List.fold_left (fun acc m -> if predicate m then acc + 1 else acc) 0 (members t)
+
+let count_received t id = count_if t (fun m -> Member.has_received m id)
+
+let count_buffered t id = count_if t (fun m -> Member.buffers m id)
+
+let bufferers t id =
+  members t
+  |> List.filter_map (fun m -> if Member.buffers m id then Some (Member.node m) else None)
+
+let received_by_all t id = List.for_all (fun m -> Member.has_received m id) (members t)
+
+let total_buffered_messages t =
+  List.fold_left (fun acc m -> acc + Member.buffer_size m) 0 (members t)
+
+let quiescent t = Engine.Sim.pending t.sim = 0

@@ -1,0 +1,91 @@
+(** A whole RRMP session: simulation, network, and one {!Member} per
+    topology node, wired together. This is the main entry point of the
+    library — see [examples/quickstart.ml].
+
+    All randomness derives from [seed]; runs are reproducible. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Config.t ->
+  ?latency:Latency.t ->
+  ?loss:Loss.model ->
+  ?bandwidth:float ->
+  ?observer:Events.observer ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** Builds a session over [topology] (defaults: seed 1, paper-default
+    config, {!Latency.paper_default}, lossless channels for recovery
+    traffic — the paper's Section 4 assumption). [bandwidth], in bytes
+    per ms, bounds each node's egress (infinite by default); packet
+    sizes come from {!Wire.bytes}. The sender is the lowest-numbered
+    node; by convention build topologies with the sender's region
+    first. *)
+
+val sim : t -> Engine.Sim.t
+
+val net : t -> Wire.t Netsim.Network.t
+
+val topology : t -> Topology.t
+
+val config : t -> Config.t
+
+val sender : t -> Member.t
+
+val member : t -> Node_id.t -> Member.t
+(** @raise Not_found for nodes that never joined this group. *)
+
+val members : t -> Member.t list
+(** Live members, sorted by node id. *)
+
+val members_of_region : t -> Region_id.t -> Member.t list
+
+(** {1 Traffic} *)
+
+val multicast : t -> ?size:int -> unit -> Protocol.Msg_id.t
+(** Sender multicasts the next message (lossy IP multicast). *)
+
+val multicast_reaching :
+  t -> ?size:int -> reach:(Node_id.t -> bool) -> unit -> Protocol.Msg_id.t
+(** Controlled initial delivery (see {!Member.multicast_reaching}). *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Advance the simulation. *)
+
+val now : t -> float
+
+(** {1 Membership dynamics} *)
+
+val join : t -> Region_id.t -> Member.t
+(** Add a fresh receiver to a region; all views are refreshed. *)
+
+val leave : t -> Node_id.t -> unit
+(** Voluntary leave with long-term-buffer handoff. *)
+
+val crash : t -> Node_id.t -> unit
+(** Fail-stop without handoff. *)
+
+val enable_failure_detection : t -> gossip_interval:float -> fail_timeout:float -> unit
+(** Turn on gossip failure detection at every current member (members
+    joining later must enable it individually). *)
+
+(** {1 Group-wide queries (used by the experiment harness)} *)
+
+val count_received : t -> Protocol.Msg_id.t -> int
+(** How many live members have the message body. *)
+
+val count_buffered : t -> Protocol.Msg_id.t -> int
+(** How many live members hold the message in their buffer (either
+    phase) — the quantity Figure 7 tracks. *)
+
+val bufferers : t -> Protocol.Msg_id.t -> Node_id.t list
+
+val received_by_all : t -> Protocol.Msg_id.t -> bool
+
+val total_buffered_messages : t -> int
+(** Sum of buffer sizes over live members. *)
+
+val quiescent : t -> bool
+(** No pending simulation events. *)

@@ -1,0 +1,23 @@
+let probability ~c ~n =
+  if n <= 0 then invalid_arg "Long_term.probability: region size must be positive";
+  if c < 0.0 then invalid_arg "Long_term.probability: C must be non-negative";
+  Float.min 1.0 (c /. float_of_int n)
+
+let decide rng ~c ~n = Engine.Rng.bernoulli rng ~p:(probability ~c ~n)
+
+let expected_bufferers ~c ~n = float_of_int n *. probability ~c ~n
+
+(* splitmix64 finalizer over (node, id): a cheap uniform hash every
+   member computes identically *)
+let hash_unit ~node ~id =
+  let z = Int64.of_int ((Node_id.to_int node * 0x9E3779B9) lxor (Protocol.Msg_id.hash id * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+
+let hashed_decide ~node ~id ~c ~n = hash_unit ~node ~id < probability ~c ~n
+
+let hashed_candidates ~members ~id ~c ~n =
+  Array.of_seq
+    (Seq.filter (fun node -> hashed_decide ~node ~id ~c ~n) (Array.to_seq members))

@@ -1,0 +1,28 @@
+(** The randomized long-term buffering decision of Section 3.2.
+
+    When a message becomes idle at a member of an [n]-member region,
+    the member keeps it with probability [P = C/n] (clamped to 1 for
+    tiny regions), so the expected number of long-term bufferers is
+    [C] and, for large [n], their count is Poisson(C)-distributed. *)
+
+val probability : c:float -> n:int -> float
+(** [P = C/n], clamped to [\[0, 1\]]. [n] is the region size including
+    the deciding member. @raise Invalid_argument if [n <= 0] or
+    [c < 0]. *)
+
+val decide : Engine.Rng.t -> c:float -> n:int -> bool
+(** One member's independent coin flip. *)
+
+val expected_bufferers : c:float -> n:int -> float
+(** [n * P]: equals [c] once [n >= c]. *)
+
+val hashed_decide : node:Node_id.t -> id:Protocol.Msg_id.t -> c:float -> n:int -> bool
+(** The deterministic alternative of Section 3.4 (Ozkasap et al.):
+    hash (member address, message id) to [\[0, 1)] and buffer when the
+    value falls below [C/n]. Every member computes the same answer for
+    every (node, id) pair, so requesters can locate bufferers without
+    searching. *)
+
+val hashed_candidates :
+  members:Node_id.t array -> id:Protocol.Msg_id.t -> c:float -> n:int -> Node_id.t array
+(** The members of [members] that [hashed_decide] selects for [id]. *)

@@ -1,0 +1,45 @@
+let search_hit_probability ~n ~k ~searchers =
+  if n < 2 then invalid_arg "Model.search_hit_probability: n must be >= 2";
+  let miss_one = 1.0 -. (float_of_int k /. float_of_int (n - 1)) in
+  1.0 -. (miss_one ** float_of_int searchers)
+
+(* The probe stream grows per HALF-round (one one-way delay): a probe
+   sent at step i recruits its target, which probes at step i+1, while
+   the prober itself retries at step i+2 (its RTT timer). So the probe
+   count follows the Fibonacci recurrence f(i) = f(i-1) + f(i-2),
+   capped by the non-bufferer population. A probe sent at step i that
+   hits a bufferer completes the search one one-way delay later. *)
+let expected_search_steps ~n ~k =
+  if k < 1 || k >= n then invalid_arg "Model.expected_search_steps: k out of range";
+  (* step "-1" is the remote request itself: it hits a bufferer with
+     probability k/n and costs no search time at all *)
+  let p_direct = float_of_int k /. float_of_int n in
+  let cap = n - k in
+  let rec go ~probes_prev ~probes ~p_alive ~expected ~step =
+    if p_alive < 1e-12 || step > 10_000 then expected
+    else begin
+      let p_hit = search_hit_probability ~n ~k ~searchers:probes in
+      (* the probe sent at [step] lands at [step + 1] *)
+      let expected = expected +. (p_alive *. p_hit *. float_of_int (step + 1)) in
+      let p_alive = p_alive *. (1.0 -. p_hit) in
+      let next = min (probes + probes_prev) cap in
+      go ~probes_prev:probes ~probes:next ~p_alive ~expected ~step:(step + 1)
+    end
+  in
+  (1.0 -. p_direct) *. go ~probes_prev:0 ~probes:1 ~p_alive:1.0 ~expected:0.0 ~step:0
+
+let expected_search_rounds ~n ~k = expected_search_steps ~n ~k /. 2.0
+
+let expected_search_time ~n ~k ~rtt = expected_search_steps ~n ~k *. (rtt /. 2.0)
+
+let expected_requests_per_round ~n ~missing =
+  if n < 2 then 0.0 else float_of_int missing /. float_of_int (n - 1)
+
+let prob_idle_fires_while_missing ~n ~missing ~rounds =
+  if n < 2 then 1.0
+  else begin
+    let p_silent_one_round =
+      (1.0 -. (1.0 /. float_of_int (n - 1))) ** float_of_int missing
+    in
+    p_silent_one_round ** rounds
+  end

@@ -1,0 +1,39 @@
+(** Analytical models of the randomized mechanisms, used to sanity-check
+    the simulation (and vice versa).
+
+    The search process of Section 3.3 forms a growing set of searchers:
+    every probe that lands on a member that has discarded the message
+    recruits it. With [s] searchers each probing one uniform member per
+    round, the probability that some probe hits one of the [k] bufferers
+    is [1 - (1 - k/(n-1))^s]; conditioned on missing, the searcher set
+    roughly doubles (capped by the region). These recurrences give the
+    expected search time without running the simulator. *)
+
+val search_hit_probability : n:int -> k:int -> searchers:int -> float
+(** Probability that at least one of [searchers] uniform probes (into
+    an [n]-member region, excluding the prober itself) finds one of the
+    [k] bufferers this round. *)
+
+val expected_search_steps : n:int -> k:int -> float
+(** Expected number of half-round (one-way-delay) steps until a
+    bufferer receives a probe, starting from the remote request (which
+    finds a bufferer directly with probability k/n at cost 0).
+    @raise Invalid_argument if [k < 1] or [k >= n]. *)
+
+val expected_search_rounds : n:int -> k:int -> float
+(** [expected_search_steps / 2]: in RTT-sized rounds. *)
+
+val expected_search_time : n:int -> k:int -> rtt:float -> float
+(** Expected search time in ms: each round costs one RTT-sized timer
+    (the probe that succeeds costs half an RTT, folded in). *)
+
+val expected_requests_per_round : n:int -> missing:int -> float
+(** Section 3.1: with [missing] members each probing one uniform
+    neighbour per round, the expected number of requests one particular
+    holder receives per round. *)
+
+val prob_idle_fires_while_missing : n:int -> missing:int -> rounds:float -> float
+(** Probability a holder sees {e no} request for [rounds] consecutive
+    request rounds while [missing] members are still probing — i.e. the
+    chance the idle threshold fires prematurely. With [T = 4 RTT] and a
+    request round per RTT, [rounds = 4]. *)

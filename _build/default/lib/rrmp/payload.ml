@@ -1,0 +1,13 @@
+type t = { id : Protocol.Msg_id.t; size : int }
+
+let make ?(size = 1024) id =
+  if size < 0 then invalid_arg "Payload.make: negative size";
+  { id; size }
+
+let id t = t.id
+
+let size t = t.size
+
+let equal a b = Protocol.Msg_id.equal a.id b.id && Int.equal a.size b.size
+
+let pp fmt t = Format.fprintf fmt "%a(%dB)" Protocol.Msg_id.pp t.id t.size

@@ -1,0 +1,16 @@
+(** A multicast data message as buffered and retransmitted: its
+    identifier plus an abstract size used for buffer accounting. *)
+
+type t = { id : Protocol.Msg_id.t; size : int }
+
+val make : ?size:int -> Protocol.Msg_id.t -> t
+(** Default size 1024 bytes. @raise Invalid_argument on negative
+    size. *)
+
+val id : t -> Protocol.Msg_id.t
+
+val size : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t =
+  | Data of Payload.t
+  | Session of { max_seq : int }
+  | Local_request of Protocol.Msg_id.t
+  | Remote_request of { id : Protocol.Msg_id.t; origin : Node_id.t }
+  | Repair of Payload.t
+  | Regional_repair of Payload.t
+  | Search of { id : Protocol.Msg_id.t; origin : Node_id.t }
+  | Have of Protocol.Msg_id.t
+  | Handoff of Payload.t list
+  | History of Protocol.Recv_log.digest
+  | Gossip of (Node_id.t * int) list
+
+let header = 32
+
+let control = 64
+
+let bytes = function
+  | Data p | Repair p | Regional_repair p -> header + Payload.size p
+  | Handoff payloads ->
+    List.fold_left (fun acc p -> acc + Payload.size p) header payloads
+  | History digest -> control + (16 * List.length digest)
+  | Gossip table -> control + (16 * List.length table)
+  | Session _ | Local_request _ | Remote_request _ | Search _ | Have _ -> control
+
+let cls = function
+  | Data _ -> "data"
+  | Session _ -> "session"
+  | Local_request _ -> "local-req"
+  | Remote_request _ -> "remote-req"
+  | Repair _ -> "repair"
+  | Regional_repair _ -> "regional-repair"
+  | Search _ -> "search"
+  | Have _ -> "have"
+  | Handoff _ -> "handoff"
+  | History _ -> "history"
+  | Gossip _ -> "gossip"
+
+let pp fmt = function
+  | Data p -> Format.fprintf fmt "Data(%a)" Payload.pp p
+  | Session { max_seq } -> Format.fprintf fmt "Session(max=%d)" max_seq
+  | Local_request id -> Format.fprintf fmt "LocalReq(%a)" Protocol.Msg_id.pp id
+  | Remote_request { id; origin } ->
+    Format.fprintf fmt "RemoteReq(%a for %a)" Protocol.Msg_id.pp id Node_id.pp origin
+  | Repair p -> Format.fprintf fmt "Repair(%a)" Payload.pp p
+  | Regional_repair p -> Format.fprintf fmt "RegionalRepair(%a)" Payload.pp p
+  | Search { id; origin } ->
+    Format.fprintf fmt "Search(%a for %a)" Protocol.Msg_id.pp id Node_id.pp origin
+  | Have id -> Format.fprintf fmt "Have(%a)" Protocol.Msg_id.pp id
+  | Handoff payloads -> Format.fprintf fmt "Handoff(%d msgs)" (List.length payloads)
+  | History digest -> Format.fprintf fmt "History(%d sources)" (List.length digest)
+  | Gossip table -> Format.fprintf fmt "Gossip(%d entries)" (List.length table)

@@ -1,0 +1,39 @@
+(** RRMP's wire messages. The sending node is implicit (the network
+    reports it on delivery); [origin] fields name the node on whose
+    behalf a request travels. *)
+
+type t =
+  | Data of Payload.t  (** initial best-effort IP multicast *)
+  | Session of { max_seq : int }
+      (** sender's session message: highest sequence number so far *)
+  | Local_request of Protocol.Msg_id.t
+      (** local recovery probe to a random neighbour (Section 2.2) *)
+  | Remote_request of { id : Protocol.Msg_id.t; origin : Node_id.t }
+      (** remote recovery request to a random parent-region member;
+          [origin] is the downstream receiver wanting the repair *)
+  | Repair of Payload.t  (** unicast retransmission *)
+  | Regional_repair of Payload.t
+      (** repair multicast within a region after a remote recovery *)
+  | Search of { id : Protocol.Msg_id.t; origin : Node_id.t }
+      (** random search for a long-term bufferer (Section 3.3) *)
+  | Have of Protocol.Msg_id.t
+      (** regional multicast "I have the message": ends a search *)
+  | Handoff of Payload.t list
+      (** long-term buffer transfer from a leaving member *)
+  | History of Protocol.Recv_log.digest
+      (** periodic history exchange used by the stability-detection
+          baseline policy *)
+  | Gossip of (Node_id.t * int) list
+      (** heartbeat table of the gossip-style failure detector *)
+
+val bytes : t -> int
+(** Approximate wire size: payload-carrying messages cost a 32-byte
+    header plus the payload; control messages cost 64 bytes (plus 16
+    per digest/handoff entry). Used by the bandwidth model. *)
+
+val cls : t -> string
+(** Traffic class for network accounting: "data", "session",
+    "local-req", "remote-req", "repair", "regional-repair", "search",
+    "have", "handoff", "history", "gossip". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stats/hist.ml: Array Float Format Stdlib

@@ -1,0 +1,91 @@
+(* Lanczos coefficients (g = 7, n = 9), standard double-precision set. *)
+let lanczos = [|
+  0.99999999999980993;
+  676.5203681218851;
+  -1259.1392167224028;
+  771.32342877765313;
+  -176.61502916214059;
+  12.507343278686905;
+  -0.13857109526572012;
+  9.9843695780195716e-6;
+  1.5056327351493116e-7;
+|]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Dist.log_gamma: x must be positive";
+  if x < 0.5 then
+    (* reflection formula keeps the Lanczos sum in its accurate range *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. (((x +. 0.5) *. log t) -. t) +. log !acc
+  end
+
+let log_factorial_cache = lazy (
+  let table = Array.make 256 0.0 in
+  for n = 2 to 255 do
+    table.(n) <- table.(n - 1) +. log (float_of_int n)
+  done;
+  table)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Dist.log_factorial: negative argument";
+  if n < 256 then (Lazy.force log_factorial_cache).(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+let log_choose n k = log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let binomial_pmf ~n ~p k =
+  if n < 0 then invalid_arg "Dist.binomial_pmf: n must be non-negative";
+  if p < 0.0 || p > 1.0 then invalid_arg "Dist.binomial_pmf: p must be in [0,1]";
+  if k < 0 || k > n then 0.0
+  else if p = 0.0 then (if k = 0 then 1.0 else 0.0)
+  else if p = 1.0 then (if k = n then 1.0 else 0.0)
+  else
+    let log_pmf =
+      log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1.0 -. p))
+    in
+    exp log_pmf
+
+let binomial_cdf ~n ~p k =
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. binomial_pmf ~n ~p i
+    done;
+    Float.min !acc 1.0
+  end
+
+let poisson_pmf ~lambda k =
+  if lambda < 0.0 then invalid_arg "Dist.poisson_pmf: lambda must be non-negative";
+  if k < 0 then 0.0
+  else if lambda = 0.0 then (if k = 0 then 1.0 else 0.0)
+  else exp ((float_of_int k *. log lambda) -. lambda -. log_factorial k)
+
+let poisson_cdf ~lambda k =
+  if k < 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. poisson_pmf ~lambda i
+    done;
+    Float.min !acc 1.0
+  end
+
+let prob_no_bufferer ~c = exp (-.c)
+
+let prob_no_request ~n ~p =
+  if n < 2 then invalid_arg "Dist.prob_no_request: region must have >= 2 members";
+  (1.0 -. (1.0 /. float_of_int (n - 1))) ** (float_of_int n *. p)
+
+let expected_requests_per_member ~n ~missing =
+  if n < 2 then 0.0 else float_of_int missing /. float_of_int (n - 1)

@@ -1,0 +1,42 @@
+(** Discrete probability distributions used by the paper's analysis.
+
+    Figure 3 plots the Poisson(C) pmf (the large-n limit of
+    Binomial(n, C/n)); Figure 4 plots the probability of zero long-term
+    bufferers, e^-C. We implement both exactly (via log-gamma) so the
+    analytical figures are regenerated from first principles and can be
+    cross-checked against Monte-Carlo simulation. *)
+
+val log_gamma : float -> float
+(** Lanczos approximation of ln Γ(x), accurate to ~1e-13 for x > 0.
+    @raise Invalid_argument if [x <= 0]. *)
+
+val log_factorial : int -> float
+(** ln(n!), memoized for small n. @raise Invalid_argument if [n < 0]. *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+(** [binomial_pmf ~n ~p k] is P(X = k) for X ~ Binomial(n, p); 0 when
+    [k] is out of range. @raise Invalid_argument unless
+    [0 <= p <= 1] and [n >= 0]. *)
+
+val binomial_cdf : n:int -> p:float -> int -> float
+(** P(X <= k). *)
+
+val poisson_pmf : lambda:float -> int -> float
+(** [poisson_pmf ~lambda k] is e^-λ λ^k / k!; 0 for negative [k].
+    @raise Invalid_argument if [lambda < 0]. *)
+
+val poisson_cdf : lambda:float -> int -> float
+
+val prob_no_bufferer : c:float -> float
+(** Paper, Section 3.2 / Figure 4: the probability that no member
+    long-term-buffers an idle message, e^-C in the Poisson limit. *)
+
+val prob_no_request : n:int -> p:float -> float
+(** Paper, Section 3.1: probability that a member receives no local
+    retransmission request when a fraction [p] of an [n]-member region
+    missed the message: [(1 - 1/(n-1))^(n*p)].
+    @raise Invalid_argument if [n < 2]. *)
+
+val expected_requests_per_member : n:int -> missing:int -> float
+(** With [missing] members each probing one uniform neighbour per
+    round, the expected number of requests a holder sees per round. *)

@@ -1,0 +1,80 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  weights : float array;
+  mutable n : int;
+  mutable underflow : float;
+  mutable overflow : float;
+  mutable total : float;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Hist.create: hi must exceed lo";
+  if bins <= 0 then invalid_arg "Hist.create: bins must be positive";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    weights = Array.make bins 0.0;
+    n = 0;
+    underflow = 0.0;
+    overflow = 0.0;
+    total = 0.0;
+  }
+
+let add ?(weight = 1.0) t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. weight;
+  if x < t.lo then t.underflow <- t.underflow +. weight
+  else if x >= t.hi then t.overflow <- t.overflow +. weight
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = Stdlib.min i (Array.length t.weights - 1) in
+    t.weights.(i) <- t.weights.(i) +. weight
+  end
+
+let count t = t.n
+
+let bin_count t = Array.length t.weights
+
+let bin_range t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let bin_weight t i = t.weights.(i)
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let total_weight t = t.total
+
+let normalized t =
+  if t.total = 0.0 then Array.make (bin_count t) 0.0
+  else Array.map (fun w -> w /. t.total) t.weights
+
+let mode_bin t =
+  let best = ref (-1) and best_w = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      if w > !best_w then begin
+        best := i;
+        best_w := w
+      end)
+    t.weights;
+  if !best < 0 then None else Some !best
+
+let pp fmt t =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let peak = Array.fold_left Float.max 0.0 t.weights in
+  Format.fprintf fmt "[";
+  Array.iter
+    (fun w ->
+      let level =
+        if peak = 0.0 then 0
+        else Stdlib.min 7 (int_of_float (w /. peak *. 7.99))
+      in
+      Format.pp_print_char fmt glyphs.(level))
+    t.weights;
+  Format.fprintf fmt "] n=%d" t.n

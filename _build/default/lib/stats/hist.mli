@@ -1,0 +1,36 @@
+(** Fixed-width-bin histograms for distribution plots. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Bins partition [\[lo, hi)]; samples outside are counted in
+    underflow/overflow. @raise Invalid_argument if [hi <= lo] or
+    [bins <= 0]. *)
+
+val add : ?weight:float -> t -> float -> unit
+
+val count : t -> int
+(** Number of [add] calls (unweighted). *)
+
+val bin_count : t -> int
+
+val bin_range : t -> int -> float * float
+(** [\[lo, hi)] of bin [i]. *)
+
+val bin_weight : t -> int -> float
+
+val underflow : t -> float
+
+val overflow : t -> float
+
+val total_weight : t -> float
+
+val normalized : t -> float array
+(** Bin weights divided by total weight (empty histogram yields
+    zeros). *)
+
+val mode_bin : t -> int option
+(** Index of the heaviest bin, if any sample landed in range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact ASCII sparkline of bin weights. *)

@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  mutable rev_points : (float * float) list;
+  mutable sorted : (float * float) array option;
+}
+
+let create ?(name = "series") () = { name; rev_points = []; sorted = None }
+
+let name t = t.name
+
+let record t ~time value =
+  t.rev_points <- (time, value) :: t.rev_points;
+  t.sorted <- None
+
+let length t = List.length t.rev_points
+
+let points t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list (List.rev t.rev_points) in
+    (* stable sort keeps insertion order among equal times *)
+    let indexed = Array.mapi (fun i p -> (i, p)) arr in
+    Array.sort
+      (fun (i, (ta, _)) (j, (tb, _)) ->
+        let c = Float.compare ta tb in
+        if c <> 0 then c else Int.compare i j)
+      indexed;
+    let sorted = Array.map snd indexed in
+    t.sorted <- Some sorted;
+    sorted
+
+let value_at t time =
+  let arr = points t in
+  let n = Array.length arr in
+  if n = 0 || fst arr.(0) > time then None
+  else begin
+    (* binary search for the last index with time <= query *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if fst arr.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    Some (snd arr.(!lo))
+  end
+
+let sample t ~times =
+  let arr = points t in
+  if Array.length arr = 0 then [||]
+  else
+    let first_value = snd arr.(0) in
+    Array.map
+      (fun time ->
+        match value_at t time with
+        | Some v -> (time, v)
+        | None -> (time, first_value))
+      times
+
+let map_values f t =
+  let out = create ~name:t.name () in
+  Array.iter (fun (time, v) -> record out ~time (f v)) (points t);
+  out
+
+let to_csv_rows t =
+  points t |> Array.to_list
+  |> List.map (fun (time, v) -> Printf.sprintf "%.6f,%.6f" time v)

@@ -1,0 +1,30 @@
+(** Time series of (time, value) points, for figures plotted against
+    simulated time (e.g. paper Figure 7). *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val record : t -> time:float -> float -> unit
+(** Points may arrive out of order; they are sorted on read. *)
+
+val length : t -> int
+
+val points : t -> (float * float) array
+(** Sorted by time (stable for equal times). *)
+
+val value_at : t -> float -> float option
+(** Step interpolation: the value of the latest point at or before the
+    given time; [None] before the first point or when empty. *)
+
+val sample : t -> times:float array -> (float * float) array
+(** Step-interpolated resampling at the given times; points before the
+    first record get the first recorded value. Empty series yields an
+    empty array. *)
+
+val map_values : (float -> float) -> t -> t
+
+val to_csv_rows : t -> string list
+(** ["time,value"]-shaped rows, no header. *)

@@ -1,0 +1,109 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minimum : float;
+  mutable maximum : float;
+  mutable total : float;
+  mutable samples : float list;   (* retained for exact percentiles *)
+  mutable sorted : float array option; (* cache invalidated by add *)
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    minimum = Float.infinity;
+    maximum = Float.neg_infinity;
+    total = 0.0;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minimum then t.minimum <- x;
+  if x > t.maximum then t.maximum <- x;
+  t.total <- t.total +. x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let add_many t xs = List.iter (add t) xs
+
+let merge a b =
+  if a.n = 0 then { b with samples = b.samples }
+  else if b.n = 0 then { a with samples = a.samples }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      minimum = Float.min a.minimum b.minimum;
+      maximum = Float.max a.maximum b.maximum;
+      total = a.total +. b.total;
+      samples = List.rev_append a.samples b.samples;
+      sorted = None;
+    }
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.n = 0 then invalid_arg "Summary.min: empty summary";
+  t.minimum
+
+let max t =
+  if t.n = 0 then invalid_arg "Summary.max: empty summary";
+  t.maximum
+
+let total t = t.total
+
+let sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.samples in
+    Array.sort Float.compare arr;
+    t.sorted <- Some arr;
+    arr
+
+let percentile t q =
+  if t.n = 0 then invalid_arg "Summary.percentile: empty summary";
+  if q < 0.0 || q > 100.0 then invalid_arg "Summary.percentile: q out of [0,100]";
+  let arr = sorted t in
+  let rank = q /. 100.0 *. float_of_int (Array.length arr - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then arr.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. w)) +. (arr.(hi) *. w)
+  end
+
+let median t = percentile t 50.0
+
+let ci95_halfwidth t =
+  if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let pp fmt t =
+  if t.n = 0 then Format.fprintf fmt "(empty)"
+  else
+    Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f max=%.3f"
+      t.n (mean t) (stddev t) t.minimum (median t) t.maximum

@@ -1,0 +1,45 @@
+(** Streaming univariate statistics (Welford's online algorithm) plus
+    exact percentiles over retained samples. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_many : t -> float list -> unit
+
+val merge : t -> t -> t
+(** Combined summary of both inputs (Chan et al. parallel update). *)
+
+val count : t -> int
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [\[0, 100\]]; linear interpolation
+    between closest ranks. @raise Invalid_argument when empty or [q]
+    is out of range. *)
+
+val median : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval for
+    the mean: [1.96 * stddev / sqrt count]. 0.0 with fewer than two
+    samples. *)
+
+val pp : Format.formatter -> t -> unit

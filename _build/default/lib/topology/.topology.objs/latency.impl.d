@@ -1,0 +1,1 @@
+lib/topology/latency.ml: Engine

@@ -1,0 +1,1 @@
+lib/topology/loss.ml: Engine Hashtbl Node_id Printf

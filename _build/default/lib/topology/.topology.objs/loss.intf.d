@@ -1,0 +1,1 @@
+lib/topology/loss.mli: Engine Node_id

@@ -1,0 +1,1 @@
+lib/topology/node_id.ml: Format Hashtbl Int Map Set

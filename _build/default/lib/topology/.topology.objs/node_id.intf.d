@@ -1,0 +1,1 @@
+lib/topology/node_id.mli: Format Hashtbl Map Set

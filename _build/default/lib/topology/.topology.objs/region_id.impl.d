@@ -1,0 +1,1 @@
+lib/topology/region_id.ml: Format Int Map

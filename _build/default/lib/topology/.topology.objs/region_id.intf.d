@@ -1,0 +1,1 @@
+lib/topology/region_id.mli: Format Map

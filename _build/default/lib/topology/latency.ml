@@ -1,0 +1,47 @@
+type model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Lognormal of { median : float; sigma : float }
+
+type t = { intra_model : model; inter_model : model }
+
+let validate = function
+  | Constant d -> if d < 0.0 then invalid_arg "Latency: negative constant delay"
+  | Uniform { lo; hi } ->
+    if lo < 0.0 || hi < lo then invalid_arg "Latency: bad uniform range"
+  | Lognormal { median; sigma } ->
+    if median <= 0.0 || sigma < 0.0 then invalid_arg "Latency: bad lognormal"
+
+let create ~intra ~inter =
+  validate intra;
+  validate inter;
+  { intra_model = intra; inter_model = inter }
+
+let paper_default = create ~intra:(Constant 5.0) ~inter:(Constant 50.0)
+
+let sample_model model rng =
+  match model with
+  | Constant d -> d
+  | Uniform { lo; hi } -> lo +. Engine.Rng.float rng (hi -. lo)
+  | Lognormal { median; sigma } ->
+    Engine.Rng.lognormal rng ~mu:(log median) ~sigma
+
+let intra t rng = sample_model t.intra_model rng
+
+let inter t ~hops rng =
+  if hops < 1 then invalid_arg "Latency.inter: hops must be >= 1";
+  let acc = ref (sample_model t.intra_model rng) in
+  for _ = 1 to hops do
+    acc := !acc +. sample_model t.inter_model rng
+  done;
+  !acc
+
+let mean_model = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Lognormal { median; sigma } -> median *. exp (sigma *. sigma /. 2.0)
+
+let intra_rtt t = 2.0 *. mean_model t.intra_model
+
+let inter_rtt t ~hops =
+  2.0 *. (mean_model t.intra_model +. (float_of_int hops *. mean_model t.inter_model))

@@ -1,0 +1,45 @@
+(** One-way packet delay models.
+
+    The paper's local-region simulation uses a constant 10 ms round
+    trip (5 ms one way) between any two members of a region, with
+    inter-region latency "usually much higher". A model produces a
+    one-way delay per packet; intra- and inter-region delays are
+    configured separately, and inter-region delay scales with the hop
+    distance between regions in the hierarchy. *)
+
+type model =
+  | Constant of float  (** fixed one-way delay, ms *)
+  | Uniform of { lo : float; hi : float }
+      (** uniform in [\[lo, hi)], ms *)
+  | Lognormal of { median : float; sigma : float }
+      (** heavy-tailed WAN-like delay: exp(N(ln median, sigma)) *)
+
+type t
+
+val create : intra:model -> inter:model -> t
+(** [inter] is the delay of one region-to-region hop; a packet crossing
+    [h] hops samples the model [h] times and adds one intra sample for
+    the local leg. *)
+
+val paper_default : t
+(** The evaluation setting of Section 4: constant 5 ms one-way within
+    a region (10 ms RTT) and constant 50 ms per inter-region hop. *)
+
+val sample_model : model -> Engine.Rng.t -> float
+(** One draw from a bare model (always >= 0). *)
+
+val intra : t -> Engine.Rng.t -> float
+(** Delay between two members of the same region. *)
+
+val inter : t -> hops:int -> Engine.Rng.t -> float
+(** Delay between members of regions [hops] apart in the hierarchy
+    ([hops >= 1]); includes a final intra-region leg. *)
+
+val mean_model : model -> float
+(** Analytic mean of a model (used to set timers from expected RTTs). *)
+
+val intra_rtt : t -> float
+(** Expected round-trip time within a region: [2 * mean intra]. *)
+
+val inter_rtt : t -> hops:int -> float
+(** Expected round-trip time across [hops] region hops. *)

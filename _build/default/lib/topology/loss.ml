@@ -1,0 +1,66 @@
+type model =
+  | Lossless
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+type channel_state = Good | Bad
+
+type t = {
+  model : model;
+  rng : Engine.Rng.t;
+  channels : (int * int, channel_state ref) Hashtbl.t;
+}
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Loss: %s out of [0,1]" name)
+
+let create model ~rng =
+  (match model with
+   | Lossless -> ()
+   | Bernoulli p -> check_prob "loss probability" p
+   | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+     check_prob "p_good_to_bad" p_good_to_bad;
+     check_prob "p_bad_to_good" p_bad_to_good;
+     check_prob "loss_good" loss_good;
+     check_prob "loss_bad" loss_bad);
+  { model; rng; channels = Hashtbl.create 64 }
+
+let model t = t.model
+
+let channel t ~src ~dst =
+  let key = (Node_id.to_int src, Node_id.to_int dst) in
+  match Hashtbl.find_opt t.channels key with
+  | Some state -> state
+  | None ->
+    let state = ref Good in
+    Hashtbl.add t.channels key state;
+    state
+
+let drop t ~src ~dst =
+  match t.model with
+  | Lossless -> false
+  | Bernoulli p -> Engine.Rng.bernoulli t.rng ~p
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+    let state = channel t ~src ~dst in
+    (* transition first, then sample loss in the new state *)
+    (match !state with
+     | Good -> if Engine.Rng.bernoulli t.rng ~p:p_good_to_bad then state := Bad
+     | Bad -> if Engine.Rng.bernoulli t.rng ~p:p_bad_to_good then state := Good);
+    let p = match !state with Good -> loss_good | Bad -> loss_bad in
+    Engine.Rng.bernoulli t.rng ~p
+
+let expected_loss_rate = function
+  | Lossless -> 0.0
+  | Bernoulli p -> p
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+    if p_good_to_bad = 0.0 && p_bad_to_good = 0.0 then loss_good
+    else begin
+      (* stationary distribution of the two-state chain *)
+      let pi_bad = p_good_to_bad /. (p_good_to_bad +. p_bad_to_good) in
+      (loss_bad *. pi_bad) +. (loss_good *. (1.0 -. pi_bad))
+    end

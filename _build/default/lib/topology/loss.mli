@@ -1,0 +1,30 @@
+(** Packet-loss models.
+
+    The paper assumes retransmission requests and repairs are not lost
+    (Section 4); data packets are lost according to the experiment's
+    workload. We additionally provide independent (Bernoulli) and
+    bursty (Gilbert–Elliott) channel models so experiments can stress
+    the recovery path beyond the paper's setting. Gilbert–Elliott keeps
+    an independent channel state per (src, dst) pair. *)
+
+type model =
+  | Lossless
+  | Bernoulli of float  (** independent loss probability per packet *)
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+type t
+
+val create : model -> rng:Engine.Rng.t -> t
+
+val model : t -> model
+
+val drop : t -> src:Node_id.t -> dst:Node_id.t -> bool
+(** Decide the fate of one packet on the directed link [src → dst]. *)
+
+val expected_loss_rate : model -> float
+(** Stationary loss probability of the model. *)

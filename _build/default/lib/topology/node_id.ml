@@ -1,0 +1,34 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative id";
+  i
+
+let to_int t = t
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash = Hashtbl.hash
+
+let pp fmt t = Format.fprintf fmt "n%d" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,26 @@
+(** Identity of a simulated protocol participant (one per receiver; the
+    sender is also a receiver). Dense integers so components can index
+    arrays by node. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,21 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Region_id.of_int: negative id";
+  i
+
+let to_int t = t
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp fmt t = Format.fprintf fmt "r%d" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

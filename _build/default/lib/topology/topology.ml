@@ -1,0 +1,213 @@
+type region_info = {
+  parent : Region_id.t option;
+  mutable member_set : Node_id.Set.t;
+  mutable members_cache : Node_id.t array option;
+}
+
+type t = {
+  region_infos : region_info array;
+  mutable node_region : Region_id.t option array; (* indexed by node id *)
+  mutable next_node : int;
+  mutable live : int;
+}
+
+let region_count t = Array.length t.region_infos
+
+let check_acyclic parents =
+  let n = Array.length parents in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | None -> ()
+      | Some p ->
+        let p = Region_id.to_int p in
+        if p < 0 || p >= n then invalid_arg "Topology.create: parent out of range";
+        if p = i then invalid_arg "Topology.create: region cannot be its own parent")
+    parents;
+  (* walk each parent chain; more than n steps means a cycle *)
+  Array.iteri
+    (fun i _ ->
+      let steps = ref 0 in
+      let cursor = ref (Some (Region_id.of_int i)) in
+      while !cursor <> None do
+        incr steps;
+        if !steps > n then invalid_arg "Topology.create: parent relation has a cycle";
+        cursor :=
+          (match !cursor with
+           | None -> None
+           | Some r -> parents.(Region_id.to_int r))
+      done)
+    parents
+
+let create ~parents =
+  check_acyclic parents;
+  let region_infos =
+    Array.map
+      (fun parent -> { parent; member_set = Node_id.Set.empty; members_cache = None })
+      parents
+  in
+  { region_infos; node_region = Array.make 64 None; next_node = 0; live = 0 }
+
+let info t r = t.region_infos.(Region_id.to_int r)
+
+let invalidate info = info.members_cache <- None
+
+let grow_node_table t =
+  if t.next_node >= Array.length t.node_region then begin
+    let bigger = Array.make (2 * Array.length t.node_region) None in
+    Array.blit t.node_region 0 bigger 0 (Array.length t.node_region);
+    t.node_region <- bigger
+  end
+
+let add_node t r =
+  grow_node_table t;
+  let node = Node_id.of_int t.next_node in
+  t.next_node <- t.next_node + 1;
+  t.node_region.(Node_id.to_int node) <- Some r;
+  let region_info = info t r in
+  region_info.member_set <- Node_id.Set.add node region_info.member_set;
+  invalidate region_info;
+  t.live <- t.live + 1;
+  node
+
+let region_of t node =
+  let i = Node_id.to_int node in
+  if i >= t.next_node then None else t.node_region.(i)
+
+let remove_node t node =
+  match region_of t node with
+  | None -> invalid_arg "Topology.remove_node: not a member"
+  | Some r ->
+    t.node_region.(Node_id.to_int node) <- None;
+    let region_info = info t r in
+    region_info.member_set <- Node_id.Set.remove node region_info.member_set;
+    invalidate region_info;
+    t.live <- t.live - 1
+
+let node_count t = t.live
+
+let created_count t = t.next_node
+
+let is_member t node = region_of t node <> None
+
+let members t r =
+  let region_info = info t r in
+  match region_info.members_cache with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list (Node_id.Set.elements region_info.member_set) in
+    region_info.members_cache <- Some arr;
+    arr
+
+let members_except t r node =
+  members t r |> Array.to_seq
+  |> Seq.filter (fun m -> not (Node_id.equal m node))
+  |> Array.of_seq
+
+let region_size t r = Node_id.Set.cardinal (info t r).member_set
+
+let parent t r = (info t r).parent
+
+let children t r =
+  let out = ref [] in
+  for i = region_count t - 1 downto 0 do
+    let candidate = Region_id.of_int i in
+    match parent t candidate with
+    | Some p when Region_id.equal p r -> out := candidate :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+let depth t r =
+  let rec walk r acc =
+    match parent t r with None -> acc | Some p -> walk p (acc + 1)
+  in
+  walk r 0
+
+let rec ancestors t r = r :: (match parent t r with None -> [] | Some p -> ancestors t p)
+
+let hops t ra rb =
+  if Region_id.equal ra rb then 0
+  else begin
+    let up_a = ancestors t ra and up_b = ancestors t rb in
+    let in_b r = List.exists (Region_id.equal r) up_b in
+    match List.find_opt in_b up_a with
+    | None -> invalid_arg "Topology.hops: regions in different trees"
+    | Some lca ->
+      let dist path =
+        let rec count acc = function
+          | [] -> assert false
+          | r :: rest -> if Region_id.equal r lca then acc else count (acc + 1) rest
+        in
+        count 0 path
+      in
+      dist up_a + dist up_b
+  end
+
+let all_nodes t =
+  let sets =
+    Array.fold_left
+      (fun acc region_info -> Node_id.Set.union acc region_info.member_set)
+      Node_id.Set.empty t.region_infos
+  in
+  Array.of_list (Node_id.Set.elements sets)
+
+let regions t = List.init (region_count t) Region_id.of_int
+
+let same_region t a b =
+  match (region_of t a, region_of t b) with
+  | Some ra, Some rb -> Region_id.equal ra rb
+  | _ -> false
+
+let populate t sizes =
+  List.iteri
+    (fun i size ->
+      let r = Region_id.of_int i in
+      for _ = 1 to size do
+        ignore (add_node t r)
+      done)
+    sizes;
+  t
+
+let single_region ~size =
+  if size <= 0 then invalid_arg "Topology.single_region: size must be positive";
+  populate (create ~parents:[| None |]) [ size ]
+
+let chain ~sizes =
+  if sizes = [] then invalid_arg "Topology.chain: need at least one region";
+  let n = List.length sizes in
+  let parents =
+    Array.init n (fun i -> if i = 0 then None else Some (Region_id.of_int (i - 1)))
+  in
+  populate (create ~parents) sizes
+
+let star ~hub ~leaves =
+  let n = 1 + List.length leaves in
+  let parents = Array.init n (fun i -> if i = 0 then None else Some (Region_id.of_int 0)) in
+  populate (create ~parents) (hub :: leaves)
+
+let balanced_tree ~fanout ~levels ~region_size =
+  if fanout < 1 || levels < 1 || region_size < 1 then
+    invalid_arg "Topology.balanced_tree: all parameters must be positive";
+  let total =
+    let rec count level acc width =
+      if level = levels then acc else count (level + 1) (acc + width) (width * fanout)
+    in
+    count 0 0 1
+  in
+  let parents =
+    Array.init total (fun i -> if i = 0 then None else Some (Region_id.of_int ((i - 1) / fanout)))
+  in
+  populate (create ~parents) (List.init total (fun _ -> region_size))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology: %d regions, %d live nodes" (region_count t)
+    (node_count t);
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "@,  %a: %d members, parent %s" Region_id.pp r (region_size t r)
+        (match parent t r with
+         | None -> "-"
+         | Some p -> Region_id.to_string p))
+    (regions t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,85 @@
+(** The error-recovery hierarchy of Section 2.1: receivers grouped into
+    local regions; regions organized in a parent forest according to
+    their distance from the sender. The sender is a member of a root
+    region. Membership is mutable so experiments can model receivers
+    joining and leaving a session.
+
+    All member enumerations are returned sorted by node id, so that
+    iteration order — and therefore the simulation — is deterministic. *)
+
+type t
+
+val create : parents:Region_id.t option array -> t
+(** [create ~parents] makes a topology with [Array.length parents]
+    empty regions; [parents.(i)] is region [i]'s parent region (its
+    least upstream region), [None] for a root region.
+    @raise Invalid_argument if a parent index is out of range, is the
+    region itself, or the parent relation has a cycle. *)
+
+val add_node : t -> Region_id.t -> Node_id.t
+(** Create a fresh node inside the given region. Node ids are dense and
+    never reused. *)
+
+val remove_node : t -> Node_id.t -> unit
+(** Take a node out of the session (voluntary leave or crash).
+    @raise Invalid_argument if the node is not currently a member. *)
+
+val region_count : t -> int
+
+val node_count : t -> int
+(** Live members only. *)
+
+val created_count : t -> int
+(** Total nodes ever created (the id space). *)
+
+val region_of : t -> Node_id.t -> Region_id.t option
+(** [None] when the node has been removed or never existed. *)
+
+val is_member : t -> Node_id.t -> bool
+
+val members : t -> Region_id.t -> Node_id.t array
+(** Sorted snapshot of the region's live members. *)
+
+val members_except : t -> Region_id.t -> Node_id.t -> Node_id.t array
+(** The region's members minus one node (whether or not it's inside). *)
+
+val region_size : t -> Region_id.t -> int
+
+val parent : t -> Region_id.t -> Region_id.t option
+
+val children : t -> Region_id.t -> Region_id.t list
+
+val depth : t -> Region_id.t -> int
+(** Distance to the root of the region's tree (root = 0). *)
+
+val hops : t -> Region_id.t -> Region_id.t -> int
+(** Number of region-to-region hops on the unique path through the
+    hierarchy (0 for the same region).
+    @raise Invalid_argument if the regions are in different trees. *)
+
+val all_nodes : t -> Node_id.t array
+(** Sorted snapshot of every live member. *)
+
+val regions : t -> Region_id.t list
+
+val same_region : t -> Node_id.t -> Node_id.t -> bool
+(** False if either node has left. *)
+
+(** {1 Ready-made shapes} *)
+
+val single_region : size:int -> t
+(** One region with [size] members — the paper's Section 4 setting. *)
+
+val chain : sizes:int list -> t
+(** Regions in a line: region 0 (the sender's) is the parent of region
+    1, which is the parent of region 2, ... — Figure 1's shape. *)
+
+val star : hub:int -> leaves:int list -> t
+(** Region 0 with [hub] members is the parent of every leaf region. *)
+
+val balanced_tree : fanout:int -> levels:int -> region_size:int -> t
+(** Complete [fanout]-ary tree of regions with [levels] levels (a
+    single root region when [levels = 1]), every region populated with
+    [region_size] members. *)
+
+val pp : Format.formatter -> t -> unit

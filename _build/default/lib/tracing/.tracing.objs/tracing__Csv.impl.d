@@ -1,0 +1,1 @@
+lib/tracing/csv.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/tracing/metrics.ml: Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/tracing/tracer.ml: Format List Queue

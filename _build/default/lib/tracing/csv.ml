@@ -1,0 +1,41 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape_field fields)
+
+let write_rows ~header rows oc =
+  output_string oc (row_to_string header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (row_to_string row);
+      output_char oc '\n')
+    rows
+
+let to_string ~header rows =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (row_to_string header);
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (row_to_string row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let save ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_rows ~header rows oc)

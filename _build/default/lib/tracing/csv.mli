@@ -1,0 +1,14 @@
+(** Minimal CSV writing (RFC-4180-style quoting) for experiment
+    output. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val row_to_string : string list -> string
+
+val write_rows : header:string list -> string list list -> out_channel -> unit
+
+val to_string : header:string list -> string list list -> string
+
+val save : path:string -> header:string list -> string list list -> unit
+(** Create/truncate [path] and write header + rows. *)

@@ -1,0 +1,60 @@
+type t = {
+  counter_table : (string, int ref) Hashtbl.t;
+  gauge_table : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counter_table = Hashtbl.create 32; gauge_table = Hashtbl.create 32 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counter_table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counter_table name r;
+    r
+
+let incr ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let counter t name = match Hashtbl.find_opt t.counter_table name with Some r -> !r | None -> 0
+
+let gauge_ref t name ~init =
+  match Hashtbl.find_opt t.gauge_table name with
+  | Some r -> r
+  | None ->
+    let r = ref init in
+    Hashtbl.add t.gauge_table name r;
+    r
+
+let set_gauge t name v =
+  let r = gauge_ref t name ~init:v in
+  r := v
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauge_table name)
+
+let max_gauge t name v =
+  let r = gauge_ref t name ~init:v in
+  if v > !r then r := v
+
+let add_gauge t name v =
+  let r = gauge_ref t name ~init:0.0 in
+  r := !r +. v
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counter_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauge_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counter_table;
+  Hashtbl.reset t.gauge_table
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@," name v) (counters t);
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %.3f@," name v) (gauges t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,33 @@
+(** Lightweight named counters and gauges for experiment bookkeeping.
+
+    A registry is cheap to create per simulation run; experiment
+    harnesses read it out at the end of the run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter, creating it at zero first if needed. *)
+
+val counter : t -> string -> int
+(** 0 for unknown names. *)
+
+val set_gauge : t -> string -> float -> unit
+
+val gauge : t -> string -> float option
+
+val max_gauge : t -> string -> float -> unit
+(** Keep the running maximum of the observed values. *)
+
+val add_gauge : t -> string -> float -> unit
+(** Accumulate into a gauge starting from 0. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

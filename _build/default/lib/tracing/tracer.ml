@@ -1,0 +1,43 @@
+type entry = { time : float; subject : string; event : string; detail : string }
+
+type t = {
+  capacity : int option;
+  filter : entry -> bool;
+  buffer : entry Queue.t;
+  mutable dropped : int;
+}
+
+let create ?capacity ?(filter = fun _ -> true) () =
+  (match capacity with
+   | Some c when c <= 0 -> invalid_arg "Tracer.create: capacity must be positive"
+   | Some _ | None -> ());
+  { capacity; filter; buffer = Queue.create (); dropped = 0 }
+
+let record t ~time ~subject ~event detail =
+  let entry = { time; subject; event; detail } in
+  if t.filter entry then begin
+    Queue.push entry t.buffer;
+    match t.capacity with
+    | Some c when Queue.length t.buffer > c ->
+      ignore (Queue.pop t.buffer);
+      t.dropped <- t.dropped + 1
+    | Some _ | None -> ()
+  end
+
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+
+let length t = Queue.length t.buffer
+
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.buffer;
+  t.dropped <- 0
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%10.3f  %-8s %-24s %s" e.time e.subject e.event e.detail
+
+let dump fmt t =
+  Format.fprintf fmt "@[<v>";
+  Queue.iter (fun e -> Format.fprintf fmt "%a@," pp_entry e) t.buffer;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,28 @@
+(** In-memory event trace for debugging protocol runs.
+
+    Records (time, subject, event, detail) tuples with an optional
+    capacity bound (oldest entries dropped) and an optional filter. *)
+
+type entry = { time : float; subject : string; event : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> ?filter:(entry -> bool) -> unit -> t
+(** [capacity] bounds retained entries (unbounded by default). *)
+
+val record : t -> time:float -> subject:string -> event:string -> string -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Entries discarded due to the capacity bound (filtered-out entries
+    are not counted). *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

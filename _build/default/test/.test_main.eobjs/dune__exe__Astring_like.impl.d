@@ -1,0 +1,1 @@
+test/astring_like.ml: String

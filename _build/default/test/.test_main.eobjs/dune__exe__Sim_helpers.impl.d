@@ -1,0 +1,1 @@
+test/sim_helpers.ml: Engine

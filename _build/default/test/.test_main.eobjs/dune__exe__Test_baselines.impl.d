@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Engine List Node_id Printf Region_id Rrmp Topology

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest List Loss Netsim Node_id Printf Protocol Region_id Rrmp Topology

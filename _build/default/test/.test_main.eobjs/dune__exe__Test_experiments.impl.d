@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Engine Experiments List Node_id Printf Stats Topology

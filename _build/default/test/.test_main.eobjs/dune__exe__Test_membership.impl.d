@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Array Engine List Membership Node_id Option Printf Region_id Topology

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_like Engine Format List Node_id Protocol Rrmp String

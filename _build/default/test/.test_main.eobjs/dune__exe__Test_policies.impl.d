@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Latency List Netsim Node_id Option Printf Protocol Region_id Result Rrmp Seq Topology

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Engine Float List Loss Netsim Node_id Printf QCheck QCheck_alcotest Region_id Rrmp Seq String Topology

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Gen List Node_id Protocol QCheck QCheck_alcotest

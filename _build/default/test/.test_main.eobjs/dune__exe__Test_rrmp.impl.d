@@ -1,0 +1,1 @@
+test/test_rrmp.ml: Alcotest Array Engine Experiments Float List Loss Netsim Node_id Printf Protocol QCheck QCheck_alcotest Region_id Result Rrmp Sim_helpers Stats String Topology Tracing

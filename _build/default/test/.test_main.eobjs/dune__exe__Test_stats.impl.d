@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dist Float Gen Hist List Printf QCheck QCheck_alcotest Series Stats Summary

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Engine Latency List Loss Node_id Option QCheck QCheck_alcotest Region_id Topology

@@ -1,0 +1,1 @@
+test/test_tracing.ml: Alcotest Filename Fun Sys Tracing

@@ -1,0 +1,3 @@
+(* Shared helpers for simulation-driven tests. *)
+
+let at sim time f = Engine.Sim.schedule_at sim ~at:time f

@@ -1,0 +1,263 @@
+(* Tests for the baseline protocols: the tree-based repair-server
+   protocol and the multicast-query/backoff bufferer location. *)
+
+module Tree = Baselines.Tree_rmtp
+module Query_flood = Baselines.Query_flood
+
+let test_tree_lossless_delivery () =
+  let topology = Topology.single_region ~size:20 in
+  let tree = Tree.create ~seed:1 ~topology () in
+  let id = Tree.multicast tree () in
+  Tree.run tree;
+  Alcotest.(check bool) "all received" true (Tree.received_by_all tree id)
+
+let test_tree_server_identity () =
+  let topology = Topology.chain ~sizes:[ 5; 5 ] in
+  let tree = Tree.create ~seed:1 ~topology () in
+  Alcotest.(check int) "region 0 server" 0
+    (Node_id.to_int (Tree.repair_server tree (Region_id.of_int 0)));
+  Alcotest.(check int) "region 1 server" 5
+    (Node_id.to_int (Tree.repair_server tree (Region_id.of_int 1)));
+  Alcotest.(check bool) "is_server" true (Tree.is_server tree (Node_id.of_int 5));
+  Alcotest.(check bool) "plain member" false (Tree.is_server tree (Node_id.of_int 6))
+
+let test_tree_server_buffers_everything () =
+  let topology = Topology.single_region ~size:10 in
+  let tree = Tree.create ~seed:2 ~topology () in
+  let ids = List.init 5 (fun _ -> Tree.multicast tree ()) in
+  Tree.run tree;
+  let server = Tree.repair_server tree (Region_id.of_int 0) in
+  Alcotest.(check int) "server holds the whole stream" 5
+    (Rrmp.Buffer.size (Tree.buffer_of tree server));
+  (* a plain member buffers nothing *)
+  Alcotest.(check int) "plain member buffers nothing" 0
+    (Rrmp.Buffer.size (Tree.buffer_of tree (Node_id.of_int 3)));
+  ignore ids
+
+let test_tree_nack_recovery () =
+  let topology = Topology.single_region ~size:10 in
+  let tree = Tree.create ~seed:3 ~topology () in
+  let victim = Node_id.of_int 7 in
+  let id0 =
+    Tree.multicast_reaching tree ~reach:(fun n -> not (Node_id.equal n victim)) ()
+  in
+  (* a later packet reveals the gap *)
+  let _id1 = Tree.multicast tree () in
+  Tree.run tree;
+  Alcotest.(check bool) "victim repaired by the server" true
+    (Tree.count_received tree id0 = 10)
+
+let test_tree_cross_region_recovery () =
+  let topology = Topology.chain ~sizes:[ 5; 5 ] in
+  let tree = Tree.create ~seed:4 ~topology () in
+  (* region 1 entirely missed the first message *)
+  let id0 = Tree.multicast_reaching tree ~reach:(fun n -> Node_id.to_int n < 5) () in
+  let _id1 = Tree.multicast tree () in
+  Tree.run tree;
+  Alcotest.(check bool) "region 1 recovered through its server" true
+    (Tree.received_by_all tree id0)
+
+let test_tree_session_tail_loss () =
+  let topology = Topology.single_region ~size:8 in
+  let tree = Tree.create ~seed:5 ~session_interval:20.0 ~topology () in
+  let victim = Node_id.of_int 3 in
+  let id = Tree.multicast_reaching tree ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  Tree.run ~until:2_000.0 tree;
+  Alcotest.(check int) "tail loss repaired via session" 8 (Tree.count_received tree id)
+
+let test_query_flood_single_bufferer () =
+  let outcome = Query_flood.run_once ~region:50 ~bufferers:1 ~backoff_window:30.0 ~seed:1 () in
+  Alcotest.(check int) "exactly one reply" 1 outcome.Query_flood.replies;
+  Alcotest.(check bool) "reply within window + propagation" true
+    (outcome.Query_flood.first_reply_at < 40.0)
+
+let test_query_flood_storm_with_many_bufferers () =
+  (* far more bufferers than the window was sized for: duplicates fire
+     before the first reply propagates *)
+  let totals = ref 0 in
+  for seed = 1 to 20 do
+    let outcome =
+      Query_flood.run_once ~region:100 ~bufferers:50 ~backoff_window:30.0 ~seed ()
+    in
+    totals := !totals + outcome.Query_flood.replies
+  done;
+  let mean = float_of_int !totals /. 20.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "storm: mean replies %.1f > 3" mean)
+    true (mean > 3.0)
+
+let test_query_flood_validation () =
+  Alcotest.check_raises "zero bufferers rejected"
+    (Invalid_argument "Query_flood.run_once: bufferers out of range") (fun () ->
+      ignore (Query_flood.run_once ~region:10 ~bufferers:0 ~backoff_window:10.0 ~seed:1 ()))
+
+let suites =
+  [
+    ( "baselines.tree_rmtp",
+      [
+        Alcotest.test_case "lossless delivery" `Quick test_tree_lossless_delivery;
+        Alcotest.test_case "server identity" `Quick test_tree_server_identity;
+        Alcotest.test_case "server buffers everything" `Quick test_tree_server_buffers_everything;
+        Alcotest.test_case "nack recovery" `Quick test_tree_nack_recovery;
+        Alcotest.test_case "cross-region recovery" `Quick test_tree_cross_region_recovery;
+        Alcotest.test_case "session tail loss" `Quick test_tree_session_tail_loss;
+      ] );
+    ( "baselines.query_flood",
+      [
+        Alcotest.test_case "single bufferer" `Quick test_query_flood_single_bufferer;
+        Alcotest.test_case "storm with many bufferers" `Quick test_query_flood_storm_with_many_bufferers;
+        Alcotest.test_case "validation" `Quick test_query_flood_validation;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SRM                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Srm = Baselines.Srm
+
+let test_srm_lossless_delivery () =
+  let topology = Topology.single_region ~size:15 in
+  let srm = Srm.create ~seed:1 ~topology () in
+  let id = Srm.multicast srm () in
+  Srm.run srm;
+  Alcotest.(check bool) "all received" true (Srm.received_by_all srm id)
+
+let test_srm_nack_recovery () =
+  let topology = Topology.single_region ~size:12 in
+  let srm = Srm.create ~seed:2 ~topology () in
+  let victim = Node_id.of_int 7 in
+  let id0 = Srm.multicast_reaching srm ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  let _id1 = Srm.multicast srm () in
+  Srm.run srm;
+  Alcotest.(check int) "victim repaired" 12 (Srm.count_received srm id0);
+  Alcotest.(check bool) "requests were multicast" true (Srm.request_multicasts srm > 0);
+  Alcotest.(check bool) "repairs were multicast" true (Srm.repair_multicasts srm > 0);
+  Alcotest.(check bool) "latency recorded" true (Srm.mean_recovery_latency srm > 0.0)
+
+let test_srm_suppression_bounds_repairs () =
+  (* a region-wide loss: every member misses the message; without
+     suppression every one of the 29 holders... there are no holders
+     except the sender; repairs should be far fewer than receivers *)
+  let topology = Topology.single_region ~size:30 in
+  let srm = Srm.create ~seed:3 ~topology () in
+  let id0 = Srm.multicast_reaching srm ~reach:(fun _ -> false) () in
+  let _id1 = Srm.multicast srm () in
+  Srm.run srm;
+  Alcotest.(check int) "everyone recovered" 30 (Srm.count_received srm id0);
+  (* each repair is a session-wide multicast of 29 packets; suppression
+     should keep the number of repair multicasts well under one per
+     receiver (29 x 29 packets would be a storm) *)
+  let repair_ops = Srm.repair_multicasts srm / 29 in
+  Alcotest.(check bool)
+    (Printf.sprintf "repair multicasts %d < 15" repair_ops)
+    true (repair_ops < 15)
+
+let test_srm_buffers_everything () =
+  let topology = Topology.single_region ~size:8 in
+  let srm = Srm.create ~seed:4 ~topology () in
+  let _ids = List.init 5 (fun _ -> Srm.multicast srm ()) in
+  Srm.run srm;
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "ALF: everything stays available" 5
+        (Rrmp.Buffer.size (Srm.buffer_of srm node)))
+    (Srm.members srm)
+
+let test_srm_session_tail_loss () =
+  let topology = Topology.single_region ~size:10 in
+  let srm = Srm.create ~seed:5 ~session_interval:20.0 ~topology () in
+  let victim = Node_id.of_int 4 in
+  let id = Srm.multicast_reaching srm ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  Srm.run ~until:2_000.0 srm;
+  Alcotest.(check int) "tail loss repaired" 10 (Srm.count_received srm id)
+
+(* ------------------------------------------------------------------ *)
+(* Pbcast                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Pbcast = Baselines.Pbcast
+
+let test_pbcast_gossip_repairs_total_loss () =
+  (* the initial multicast reaches nobody: anti-entropy alone must
+     spread the message from the sender's buffer *)
+  let topology = Topology.single_region ~size:20 in
+  let pb = Pbcast.create ~seed:1 ~buffer_for:5_000.0 ~topology () in
+  let id = Pbcast.multicast_reaching pb ~reach:(fun _ -> false) () in
+  Pbcast.run ~until:2_000.0 pb;
+  Alcotest.(check int) "gossip spread it to everyone" 20 (Pbcast.count_received pb id);
+  Alcotest.(check bool) "digest traffic flowed" true (Pbcast.control_packets pb > 0)
+
+let test_pbcast_fixed_buffering_expires () =
+  let topology = Topology.single_region ~size:10 in
+  let pb = Pbcast.create ~seed:2 ~buffer_for:100.0 ~topology () in
+  let id = Pbcast.multicast pb () in
+  Pbcast.run ~until:50.0 pb;
+  Alcotest.(check bool) "buffered within the window" true
+    (Rrmp.Buffer.mem (Pbcast.buffer_of pb (Node_id.of_int 0)) id);
+  Pbcast.run ~until:500.0 pb;
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "expired everywhere" 0
+        (Rrmp.Buffer.size (Pbcast.buffer_of pb node)))
+    (Pbcast.members pb)
+
+let test_pbcast_stop_gossip_quiesces () =
+  let topology = Topology.single_region ~size:5 in
+  let pb = Pbcast.create ~seed:3 ~topology () in
+  ignore (Pbcast.multicast pb ());
+  Pbcast.run ~until:500.0 pb;
+  Pbcast.stop_gossip pb;
+  Pbcast.run pb;
+  Alcotest.(check int) "no pending events after stop" 0
+    (Engine.Sim.pending (Pbcast.sim pb))
+
+let test_pbcast_bimodal_latency_grows_with_loss () =
+  (* with anti-entropy, worse initial delivery means more gossip rounds
+     to converge *)
+  let converge_time ~reach_prob =
+    let topology = Topology.single_region ~size:20 in
+    let pb = Pbcast.create ~seed:4 ~buffer_for:10_000.0 ~topology () in
+    let rng = Engine.Rng.create ~seed:9 in
+    let id =
+      Pbcast.multicast_reaching pb ~reach:(fun _ -> Engine.Rng.bernoulli rng ~p:reach_prob) ()
+    in
+    let sim = Pbcast.sim pb in
+    let done_at = ref infinity in
+    let rec sample t =
+      if t < 3_000.0 then
+        ignore
+          (Engine.Sim.schedule_at sim ~at:t (fun () ->
+               if !done_at = infinity && Pbcast.count_received pb id = 20 then done_at := t;
+               sample (t +. 5.0)))
+    in
+    sample 0.0;
+    Pbcast.run ~until:3_000.0 pb;
+    !done_at
+  in
+  let fast = converge_time ~reach_prob:0.9 in
+  let slow = converge_time ~reach_prob:0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more loss converges later (%.0f vs %.0f)" slow fast)
+    true (slow > fast)
+
+let srm_suite =
+  ( "baselines.srm",
+    [
+      Alcotest.test_case "lossless delivery" `Quick test_srm_lossless_delivery;
+      Alcotest.test_case "nack recovery" `Quick test_srm_nack_recovery;
+      Alcotest.test_case "suppression bounds repairs" `Quick test_srm_suppression_bounds_repairs;
+      Alcotest.test_case "buffers everything" `Quick test_srm_buffers_everything;
+      Alcotest.test_case "session tail loss" `Quick test_srm_session_tail_loss;
+    ] )
+
+let pbcast_suite =
+  ( "baselines.pbcast",
+    [
+      Alcotest.test_case "gossip repairs total loss" `Quick test_pbcast_gossip_repairs_total_loss;
+      Alcotest.test_case "fixed buffering expires" `Quick test_pbcast_fixed_buffering_expires;
+      Alcotest.test_case "stop_gossip quiesces" `Quick test_pbcast_stop_gossip_quiesces;
+      Alcotest.test_case "latency grows with loss" `Quick test_pbcast_bimodal_latency_grows_with_loss;
+    ] )
+
+let suites = suites @ [ srm_suite; pbcast_suite ]

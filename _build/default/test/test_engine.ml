@@ -1,0 +1,425 @@
+(* Tests for the discrete-event engine: RNG determinism and statistical
+   sanity, heap ordering, simulator scheduling semantics, timers. *)
+
+open Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let c1 = Rng.bits64 child and p1 = Rng.bits64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+  done
+
+let test_rng_uniform_range () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create ~seed:6 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create ~seed:8 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:10 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (abs_float (mean -. 5.0) < 0.2)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng ~mu:2.0 ~sigma:3.0 in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 2" true (abs_float (mean -. 2.0) < 0.1);
+  Alcotest.(check bool) "var near 9" true (abs_float (var -. 9.0) < 0.5)
+
+let test_rng_geometric_mean () =
+  let rng = Rng.create ~seed:12 in
+  let n = 20_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Rng.geometric rng ~p:0.25
+  done;
+  (* mean of failures-before-success is (1-p)/p = 3 *)
+  let mean = float_of_int !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.15)
+
+let test_rng_pick_uniformity () =
+  let rng = Rng.create ~seed:13 in
+  let arr = [| 0; 1; 2; 3 |] in
+  let counts = Array.make 4 0 in
+  let n = 8_000 in
+  for _ = 1 to n do
+    let v = Rng.pick rng arr in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let rate = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "near 1/4" true (abs_float (rate -. 0.25) < 0.03))
+    counts
+
+let test_rng_pick_other () =
+  let rng = Rng.create ~seed:14 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    match Rng.pick_other rng arr ~not_equal:2 with
+    | Some v -> Alcotest.(check bool) "never the excluded" true (v <> 2)
+    | None -> Alcotest.fail "expected a candidate"
+  done;
+  Alcotest.(check (option int)) "singleton exhausted" None
+    (Rng.pick_other rng [| 5 |] ~not_equal:5)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:15 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create ~seed:16 in
+  let arr = Array.init 10 Fun.id in
+  let s = Rng.sample_without_replacement rng 4 arr in
+  Alcotest.(check int) "size" 4 (Array.length s);
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen x);
+      Hashtbl.add seen x ())
+    s
+
+let qcheck_rng_int_in_range =
+  QCheck.Test.make ~name:"rng int always in range" ~count:200
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create ~compare_priority:Int.compare () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "ascending" [ 1; 1; 3; 4; 5 ] popped;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  (* equal priorities must pop in insertion order *)
+  let h = Heap.create ~compare_priority:(fun (a, _) (b, _) -> Int.compare a b) () in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let popped = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "fifo among ties" [ "z"; "a"; "b"; "c" ] popped
+
+let test_heap_peek () =
+  let h = Heap.create ~compare_priority:Int.compare () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 2;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create ~compare_priority:Int.compare () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any int list sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~compare_priority:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_runs_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let mark label () = log := (label, Sim.now sim) :: !log in
+  ignore (Sim.schedule sim ~delay:30.0 (mark "c"));
+  ignore (Sim.schedule sim ~delay:10.0 (mark "a"));
+  ignore (Sim.schedule sim ~delay:20.0 (mark "b"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "ordered by time"
+    [ ("a", 10.0); ("b", 20.0); ("c", 30.0) ]
+    (List.rev !log)
+
+let test_sim_same_instant_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.schedule sim ~delay:5.0 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo at one instant" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Sim.schedule sim ~delay:2.0 (fun () -> fired := "inner" :: !fired))));
+  Sim.run sim;
+  check_float "clock at last event" 3.0 (Sim.now sim);
+  Alcotest.(check (list string)) "both fired" [ "outer"; "inner" ] (List.rev !fired)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled never fires" false !fired;
+  Alcotest.(check bool) "reports cancelled" true (Sim.cancelled h)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> ignore (Sim.schedule sim ~delay:d (fun () -> incr count)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Sim.run ~until:2.5 sim;
+  Alcotest.(check int) "only events <= until" 2 !count;
+  check_float "clock advanced to until" 2.5 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "rest run later" 4 !count
+
+let test_sim_negative_delay_clamped () =
+  let sim = Sim.create () in
+  let at = ref (-1.0) in
+  ignore
+    (Sim.schedule sim ~delay:5.0 (fun () ->
+         ignore (Sim.schedule sim ~delay:(-3.0) (fun () -> at := Sim.now sim))));
+  Sim.run sim;
+  check_float "clamped to now" 5.0 !at
+
+let test_sim_max_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  (* self-perpetuating event chain would never terminate without cap *)
+  let rec tick () =
+    incr count;
+    ignore (Sim.schedule sim ~delay:1.0 tick)
+  in
+  ignore (Sim.schedule sim ~delay:1.0 tick);
+  Sim.run ~max_events:50 sim;
+  Alcotest.(check int) "stopped at cap" 50 !count
+
+let test_sim_events_executed_excludes_cancelled () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1.0 ignore);
+  let h = Sim.schedule sim ~delay:2.0 ignore in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check int) "one executed" 1 (Sim.events_executed sim)
+
+(* ------------------------------------------------------------------ *)
+(* Timer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_idle_fires_without_touch () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1.0) in
+  let _ = Timer.Idle.create sim ~timeout:40.0 ~on_idle:(fun () -> fired_at := Sim.now sim) in
+  Sim.run sim;
+  check_float "fires after timeout" 40.0 !fired_at
+
+let test_idle_touch_postpones () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1.0) in
+  let idle = Timer.Idle.create sim ~timeout:40.0 ~on_idle:(fun () -> fired_at := Sim.now sim) in
+  ignore (Sim.schedule sim ~delay:30.0 (fun () -> Timer.Idle.touch idle));
+  ignore (Sim.schedule sim ~delay:60.0 (fun () -> Timer.Idle.touch idle));
+  Sim.run sim;
+  check_float "fires 40ms after last touch" 100.0 !fired_at
+
+let test_idle_stop () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let idle = Timer.Idle.create sim ~timeout:10.0 ~on_idle:(fun () -> fired := true) in
+  Timer.Idle.stop idle;
+  Sim.run sim;
+  Alcotest.(check bool) "stopped never fires" false !fired;
+  Alcotest.(check bool) "inactive" false (Timer.Idle.active idle)
+
+let test_idle_restart () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let idle =
+    Timer.Idle.create sim ~timeout:10.0 ~on_idle:(fun () -> ())
+  in
+  (* replace on_idle behaviour by observing via restart pattern *)
+  Timer.Idle.stop idle;
+  let idle2 =
+    Timer.Idle.create sim ~timeout:10.0 ~on_idle:(fun () -> fires := Sim.now sim :: !fires)
+  in
+  ignore
+    (Sim.schedule sim ~delay:25.0 (fun () -> Timer.Idle.restart idle2));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "fired twice" [ 10.0; 35.0 ] (List.rev !fires)
+
+let test_periodic_ticks () =
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  let p = Timer.Periodic.create sim ~interval:10.0 (fun () -> ticks := Sim.now sim :: !ticks) in
+  ignore (Sim.schedule sim ~delay:35.0 (fun () -> Timer.Periodic.stop p));
+  Sim.run ~until:100.0 sim;
+  Alcotest.(check (list (float 1e-9))) "three ticks then stop" [ 10.0; 20.0; 30.0 ] (List.rev !ticks)
+
+let test_periodic_stop_inside_tick () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let p = ref None in
+  p :=
+    Some
+      (Timer.Periodic.create sim ~interval:1.0 (fun () ->
+           incr count;
+           if !count = 3 then Timer.Periodic.stop (Option.get !p)));
+  Sim.run ~until:50.0 sim;
+  Alcotest.(check int) "self-stop" 3 !count
+
+let suites =
+  [
+    ( "engine.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+        Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+        Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+        Alcotest.test_case "pick uniformity" `Quick test_rng_pick_uniformity;
+        Alcotest.test_case "pick_other" `Quick test_rng_pick_other;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "sample without replacement" `Quick test_rng_sample_without_replacement;
+        QCheck_alcotest.to_alcotest qcheck_rng_int_in_range;
+      ] );
+    ( "engine.heap",
+      [
+        Alcotest.test_case "orders" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "peek" `Quick test_heap_peek;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+      ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "time order" `Quick test_sim_runs_in_time_order;
+        Alcotest.test_case "same-instant fifo" `Quick test_sim_same_instant_fifo;
+        Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "run until" `Quick test_sim_run_until;
+        Alcotest.test_case "negative delay clamped" `Quick test_sim_negative_delay_clamped;
+        Alcotest.test_case "max events" `Quick test_sim_max_events;
+        Alcotest.test_case "executed excludes cancelled" `Quick test_sim_events_executed_excludes_cancelled;
+      ] );
+    ( "engine.timer",
+      [
+        Alcotest.test_case "idle fires" `Quick test_idle_fires_without_touch;
+        Alcotest.test_case "idle touch postpones" `Quick test_idle_touch_postpones;
+        Alcotest.test_case "idle stop" `Quick test_idle_stop;
+        Alcotest.test_case "idle restart" `Quick test_idle_restart;
+        Alcotest.test_case "periodic ticks" `Quick test_periodic_ticks;
+        Alcotest.test_case "periodic self-stop" `Quick test_periodic_stop_inside_tick;
+      ] );
+  ]

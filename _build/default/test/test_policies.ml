@@ -1,0 +1,260 @@
+(* Tests for the buffering-policy ablations (fixed-time, stability
+   detection, buffer-all) and the hashed bufferer selection. *)
+
+module Config = Rrmp.Config
+module Member = Rrmp.Member
+module Group = Rrmp.Group
+module Buffer = Rrmp.Buffer
+module Long_term = Rrmp.Long_term
+module Network = Netsim.Network
+module Msg_id = Protocol.Msg_id
+
+let mid seq = Msg_id.make ~source:(Node_id.of_int 0) ~seq
+
+(* --- fixed time ---------------------------------------------------- *)
+
+let test_fixed_time_discards_after_period () =
+  let topology = Topology.single_region ~size:10 in
+  let config = { Config.default with Config.buffering = Config.Fixed_time 100.0 } in
+  let group = Group.create ~seed:1 ~config ~topology () in
+  let id = Group.multicast group () in
+  Group.run ~until:90.0 group;
+  Alcotest.(check int) "still buffered everywhere at 90ms" 10 (Group.count_buffered group id);
+  Group.run group;
+  Alcotest.(check int) "all discarded after the period" 0 (Group.count_buffered group id)
+
+let test_fixed_time_requests_do_not_extend () =
+  (* unlike two-phase, requests must NOT extend the fixed period *)
+  let topology = Topology.single_region ~size:20 in
+  let config = { Config.default with Config.buffering = Config.Fixed_time 60.0 } in
+  let group = Group.create ~seed:2 ~config ~topology () in
+  let victim = Node_id.of_int 9 in
+  let id = Group.multicast_reaching group ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  Member.inject_loss (Group.member group victim) id;
+  Group.run group;
+  Alcotest.(check bool) "victim recovered within the window" true
+    (Member.has_received (Group.member group victim) id);
+  Alcotest.(check int) "nothing buffered at the end" 0 (Group.count_buffered group id)
+
+(* --- buffer all ----------------------------------------------------- *)
+
+let test_buffer_all_never_discards () =
+  let topology = Topology.single_region ~size:10 in
+  let config = { Config.default with Config.buffering = Config.Buffer_all } in
+  let group = Group.create ~seed:3 ~config ~topology () in
+  let ids = List.init 5 (fun _ -> Group.multicast group ()) in
+  Group.run ~until:10_000.0 group;
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "buffered at every member forever" 10
+        (Group.count_buffered group id))
+    ids
+
+(* --- stability detection -------------------------------------------- *)
+
+let stability_config =
+  { Config.default with
+    Config.buffering = Config.Stability { exchange_interval = 30.0; hold_after_stable = 10.0 };
+  }
+
+let test_stability_discards_once_stable () =
+  let topology = Topology.single_region ~size:8 in
+  let group = Group.create ~seed:4 ~config:stability_config ~topology () in
+  let id = Group.multicast group () in
+  (* everyone has it; after a couple of exchange rounds all digests
+     agree and the message is discarded *)
+  Group.run ~until:500.0 group;
+  Alcotest.(check int) "discarded once stable" 0 (Group.count_buffered group id);
+  Alcotest.(check bool) "history traffic flowed" true
+    ((Network.stats (Group.net group) ~cls:"history").Network.sent > 0)
+
+let test_stability_holds_while_member_missing () =
+  let topology = Topology.single_region ~size:8 in
+  let group = Group.create ~seed:5 ~config:stability_config ~topology () in
+  let victim = Node_id.of_int 5 in
+  let id = Group.multicast_reaching group ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  (* freeze the victim's recovery: it never even learns about the
+     message, so its digests keep reporting a hole... note the victim
+     has horizon -1, so other members see "victim lacks it" *)
+  Group.run ~until:100.0 group;
+  Alcotest.(check bool) "still buffered while unstable" true
+    (Group.count_buffered group id > 0);
+  (* now let the victim hear about the loss and recover; stability
+     follows and buffers drain *)
+  Member.inject_loss (Group.member group victim) id;
+  Group.run ~until:1_000.0 group;
+  Alcotest.(check bool) "victim recovered" true
+    (Member.has_received (Group.member group victim) id);
+  Alcotest.(check int) "drained after stability" 0 (Group.count_buffered group id)
+
+(* --- hashed selection ------------------------------------------------ *)
+
+let test_hashed_decide_deterministic () =
+  let id = mid 3 in
+  let a = Long_term.hashed_decide ~node:(Node_id.of_int 7) ~id ~c:6.0 ~n:100 in
+  let b = Long_term.hashed_decide ~node:(Node_id.of_int 7) ~id ~c:6.0 ~n:100 in
+  Alcotest.(check bool) "same inputs, same answer" a b
+
+let test_hashed_rate_near_c_over_n () =
+  let n = 100 and c = 6.0 in
+  let hits = ref 0 in
+  let trials = 3000 in
+  for seq = 0 to (trials / n) - 1 do
+    let id = mid seq in
+    for node = 0 to n - 1 do
+      if Long_term.hashed_decide ~node:(Node_id.of_int node) ~id ~c ~n then incr hits
+    done
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "selection rate %.3f near C/n" rate)
+    true
+    (abs_float (rate -. 0.06) < 0.02)
+
+let test_hashed_candidates_consistent () =
+  let id = mid 11 in
+  let members = Array.init 50 Node_id.of_int in
+  let candidates = Long_term.hashed_candidates ~members ~id ~c:6.0 ~n:50 in
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "candidate passes decide" true
+        (Long_term.hashed_decide ~node ~id ~c:6.0 ~n:50))
+    candidates
+
+let test_hashed_group_bufferers_match_prediction () =
+  let n = 60 in
+  let topology = Topology.single_region ~size:n in
+  let config = { Config.default with Config.selection = Config.Hashed } in
+  let group = Group.create ~seed:6 ~config ~topology () in
+  let id = Group.multicast group () in
+  Group.run group;
+  let predicted =
+    Long_term.hashed_candidates
+      ~members:(Topology.members topology (Region_id.of_int 0))
+      ~id ~c:6.0 ~n
+    |> Array.to_list |> List.sort Node_id.compare
+  in
+  Alcotest.(check (list int)) "actual bufferers = hash prediction"
+    (List.map Node_id.to_int predicted)
+    (List.map Node_id.to_int (Group.bufferers group id))
+
+let test_hashed_search_probes_directly () =
+  (* with hashed selection, a search goes straight to a computed
+     candidate — the probe count stays tiny *)
+  let n = 100 in
+  let topology = Topology.chain ~sizes:[ n; 1 ] in
+  let config = { Config.default with Config.selection = Config.Hashed } in
+  let group = Group.create ~seed:7 ~config ~topology () in
+  let id = mid 0 in
+  let payload = Rrmp.Payload.make id in
+  let region0 = Topology.members topology (Region_id.of_int 0) in
+  let bufferers = Long_term.hashed_candidates ~members:region0 ~id ~c:6.0 ~n in
+  Alcotest.(check bool) "hash picked at least one bufferer" true (Array.length bufferers > 0);
+  Array.iter
+    (fun node ->
+      let m = Group.member group node in
+      if Array.exists (Node_id.equal node) bufferers then
+        Member.force_buffer m ~phase:Buffer.Long_term payload
+      else Member.force_received m id)
+    region0;
+  let origin = Node_id.of_int n in
+  (* aim the remote request at a non-bufferer so a search is needed *)
+  let target =
+    Array.to_seq region0
+    |> Seq.filter (fun node -> not (Array.exists (Node_id.equal node) bufferers))
+    |> Seq.uncons |> Option.get |> fst
+  in
+  Network.unicast (Group.net group) ~cls:"remote-req" ~src:origin ~dst:target
+    (Rrmp.Wire.Remote_request { id; origin });
+  Group.run group;
+  Alcotest.(check bool) "origin served" true
+    (Member.has_received (Group.member group origin) id);
+  let probes = (Network.stats (Group.net group) ~cls:"search").Network.sent in
+  Alcotest.(check bool) (Printf.sprintf "probes %d <= 3" probes) true (probes <= 3)
+
+let suites =
+  [
+    ( "rrmp.policy.fixed_time",
+      [
+        Alcotest.test_case "discards after period" `Quick test_fixed_time_discards_after_period;
+        Alcotest.test_case "requests do not extend" `Quick test_fixed_time_requests_do_not_extend;
+      ] );
+    ( "rrmp.policy.buffer_all",
+      [ Alcotest.test_case "never discards" `Quick test_buffer_all_never_discards ] );
+    ( "rrmp.policy.stability",
+      [
+        Alcotest.test_case "discards once stable" `Quick test_stability_discards_once_stable;
+        Alcotest.test_case "holds while member missing" `Quick test_stability_holds_while_member_missing;
+      ] );
+    ( "rrmp.policy.hashed",
+      [
+        Alcotest.test_case "deterministic" `Quick test_hashed_decide_deterministic;
+        Alcotest.test_case "rate near C/n" `Quick test_hashed_rate_near_c_over_n;
+        Alcotest.test_case "candidates consistent" `Quick test_hashed_candidates_consistent;
+        Alcotest.test_case "group bufferers match prediction" `Quick test_hashed_group_bufferers_match_prediction;
+        Alcotest.test_case "search probes directly" `Quick test_hashed_search_probes_directly;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive idle threshold / RTT estimation                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rtt_estimate_initial () =
+  let topology = Topology.single_region ~size:5 in
+  let group = Group.create ~seed:20 ~topology () in
+  Alcotest.(check (float 1e-9)) "starts at the model's intra RTT" 10.0
+    (Member.rtt_estimate (Group.sender group))
+
+let test_rtt_estimate_learns () =
+  (* region with a 4x slower link than the default model estimate: a
+     member that recovers a loss should move its estimate upward *)
+  let topology = Topology.single_region ~size:10 in
+  let latency = Latency.create ~intra:(Latency.Constant 20.0) ~inter:(Latency.Constant 50.0) in
+  let group = Group.create ~seed:21 ~latency ~topology () in
+  let victim = Node_id.of_int 4 in
+  let id = Group.multicast_reaching group ~reach:(fun n -> not (Node_id.equal n victim)) () in
+  Member.inject_loss (Group.member group victim) id;
+  Group.run group;
+  Alcotest.(check bool) "recovered" true (Member.has_received (Group.member group victim) id);
+  Alcotest.(check bool) "estimate moved towards the real 40ms RTT" true
+    (Member.rtt_estimate (Group.member group victim) > 10.0)
+
+let test_adaptive_t_scales_with_rtt () =
+  (* same slow region, adaptive T: holders must survive long enough to
+     serve probes that take 40ms per round trip *)
+  let topology = Topology.single_region ~size:50 in
+  let latency = Latency.create ~intra:(Latency.Constant 20.0) ~inter:(Latency.Constant 50.0) in
+  let config =
+    { Config.default with
+      Config.idle_rounds = Some 4.0;
+      Config.max_recovery_tries = Some 200;
+    }
+  in
+  let group = Group.create ~seed:22 ~config ~latency ~topology () in
+  let id = Msg_id.make ~source:(Node_id.of_int 0) ~seq:0 in
+  let payload = Rrmp.Payload.make id in
+  List.iter
+    (fun m ->
+      if Node_id.equal (Member.node m) (Node_id.of_int 0) then
+        Member.force_buffer m ~phase:Buffer.Short_term payload
+      else Member.inject_loss m id)
+    (Group.members group);
+  Group.run ~until:60_000.0 group;
+  Alcotest.(check int) "everyone recovered despite the slow region" 50
+    (Group.count_received group id)
+
+let test_idle_rounds_validation () =
+  let bad = { Config.default with Config.idle_rounds = Some 0.0 } in
+  Alcotest.(check bool) "zero rounds rejected" true (Result.is_error (Config.validate bad))
+
+let adaptive_suite =
+  ( "rrmp.policy.adaptive_t",
+    [
+      Alcotest.test_case "initial estimate" `Quick test_rtt_estimate_initial;
+      Alcotest.test_case "estimate learns" `Quick test_rtt_estimate_learns;
+      Alcotest.test_case "adaptive T scales" `Quick test_adaptive_t_scales_with_rtt;
+      Alcotest.test_case "validation" `Quick test_idle_rounds_validation;
+    ] )
+
+let suites = suites @ [ adaptive_suite ]

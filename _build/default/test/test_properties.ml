@@ -1,0 +1,184 @@
+(* Cross-stack property tests: whole-protocol invariants checked over
+   randomized scenarios (region shapes, loss rates, message counts,
+   seeds). *)
+
+module Config = Rrmp.Config
+module Member = Rrmp.Member
+module Group = Rrmp.Group
+module Network = Netsim.Network
+
+(* a random small scenario: 1-3 regions, light churn of messages, loss *)
+let scenario_gen =
+  QCheck.Gen.(
+    let* regions = int_range 1 3 in
+    let* sizes = list_repeat regions (int_range 3 15) in
+    let* messages = int_range 1 6 in
+    let* loss_pct = int_range 0 30 in
+    let* seed = int_range 1 10_000 in
+    return (sizes, messages, loss_pct, seed))
+
+let scenario =
+  QCheck.make
+    ~print:(fun (sizes, messages, loss, seed) ->
+      Printf.sprintf "regions=%s msgs=%d loss=%d%% seed=%d"
+        (String.concat "," (List.map string_of_int sizes))
+        messages loss seed)
+    scenario_gen
+
+let run_scenario ?(observer : Rrmp.Events.observer option) (sizes, messages, loss_pct, seed) =
+  let topology = Topology.chain ~sizes in
+  let config = { Config.default with Config.session_interval = Some 25.0 } in
+  let group =
+    Group.create ~seed ~config
+      ~loss:(Loss.Bernoulli (float_of_int loss_pct /. 100.0))
+      ?observer ~topology ()
+  in
+  let ids = List.init messages (fun _ -> Group.multicast group ()) in
+  Group.run ~until:20_000.0 group;
+  (group, ids)
+
+let prop_reliability =
+  QCheck.Test.make ~name:"all messages eventually delivered everywhere" ~count:30
+    scenario
+    (fun ((sizes, _, _, _) as s) ->
+      let group, ids = run_scenario s in
+      let n = List.fold_left ( + ) 0 sizes in
+      List.for_all (fun id -> Group.count_received group id = n) ids)
+
+let prop_buffered_subset_received =
+  QCheck.Test.make ~name:"a buffered message was always received" ~count:30 scenario
+    (fun s ->
+      let group, ids = run_scenario s in
+      List.for_all
+        (fun m ->
+          List.for_all
+            (fun id -> (not (Member.buffers m id)) || Member.has_received m id)
+            ids)
+        (Group.members group))
+
+let prop_traffic_conservation =
+  QCheck.Test.make ~name:"sent = delivered + lost + dead, per class" ~count:30 scenario
+    (fun (sizes, messages, loss_pct, seed) ->
+      (* no session ticker: the run reaches quiescence, so nothing is
+         left in flight and conservation is exact *)
+      let topology = Topology.chain ~sizes in
+      let config = { Config.default with Config.max_recovery_tries = Some 50 } in
+      let group =
+        Group.create ~seed ~config
+          ~loss:(Loss.Bernoulli (float_of_int loss_pct /. 100.0))
+          ~topology ()
+      in
+      ignore (List.init messages (fun _ -> Group.multicast group ()));
+      Group.run group;
+      let net = Group.net group in
+      List.for_all
+        (fun cls ->
+          let c = Network.stats net ~cls in
+          c.Network.sent
+          = c.Network.delivered + c.Network.dropped_loss + c.Network.dropped_dead)
+        (Network.classes net))
+
+let prop_idle_respects_threshold =
+  QCheck.Test.make ~name:"feedback only extends: idle time >= T" ~count:20 scenario
+    (fun s ->
+      let ok = ref true in
+      let observer ~time:_ ~self:_ event =
+        match event with
+        | Rrmp.Events.Became_idle { buffered_for; _ } ->
+          if buffered_for < Config.default.Config.idle_threshold -. 1e-6 then ok := false
+        | _ -> ()
+      in
+      let _group, _ids = run_scenario ~observer s in
+      !ok)
+
+let prop_recovered_latency_nonnegative =
+  QCheck.Test.make ~name:"recovery latency is non-negative and finite" ~count:20 scenario
+    (fun s ->
+      let ok = ref true in
+      let observer ~time:_ ~self:_ event =
+        match event with
+        | Rrmp.Events.Recovered { latency; _ } ->
+          if latency < 0.0 || not (Float.is_finite latency) then ok := false
+        | _ -> ()
+      in
+      let _group, _ids = run_scenario ~observer s in
+      !ok)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"identical seeds give identical runs" ~count:15 scenario
+    (fun s ->
+      let digest () =
+        let group, ids = run_scenario s in
+        ( List.map (fun id -> Group.count_received group id) ids,
+          List.map (fun id -> Group.count_buffered group id) ids,
+          Network.total_sent (Group.net group),
+          Group.now group )
+      in
+      digest () = digest ())
+
+let prop_occupancy_sane =
+  QCheck.Test.make ~name:"buffer occupancy integrals are consistent" ~count:20 scenario
+    (fun s ->
+      let group, _ = run_scenario s in
+      List.for_all
+        (fun m ->
+          let b = Member.buffer m in
+          Rrmp.Buffer.occupancy_msg_ms b >= 0.0
+          && Rrmp.Buffer.peak_size b >= Rrmp.Buffer.size b
+          && Rrmp.Buffer.peak_bytes b >= Rrmp.Buffer.bytes b)
+        (Group.members group))
+
+(* churn: random interleaving of joins and leaves keeps the group
+   consistent and the sender alive *)
+let churn_gen =
+  QCheck.Gen.(
+    let* ops = list_size (int_range 1 30) (int_range 0 99) in
+    let* seed = int_range 1 10_000 in
+    return (ops, seed))
+
+let churn_case =
+  QCheck.make
+    ~print:(fun (ops, seed) ->
+      Printf.sprintf "ops=%d seed=%d" (List.length ops) seed)
+    churn_gen
+
+let prop_churn_consistency =
+  QCheck.Test.make ~name:"random join/leave keeps group consistent" ~count:30 churn_case
+    (fun (ops, seed) ->
+      let topology = Topology.single_region ~size:5 in
+      let group = Group.create ~seed ~topology () in
+      let rng = Engine.Rng.create ~seed:(seed lxor 77) in
+      let sender = Member.node (Group.sender group) in
+      List.iter
+        (fun op ->
+          if op mod 2 = 0 then ignore (Group.join group (Region_id.of_int 0))
+          else begin
+            let nodes = Topology.all_nodes (Group.topology group) in
+            let candidates =
+              Array.of_seq
+                (Seq.filter (fun n -> not (Node_id.equal n sender)) (Array.to_seq nodes))
+            in
+            if Array.length candidates > 0 then
+              Group.leave group (Engine.Rng.pick rng candidates)
+          end;
+          Group.run group)
+        ops;
+      let members = Group.members group in
+      (* the member list and the topology agree, and the sender survives *)
+      List.length members = Topology.node_count (Group.topology group)
+      && List.exists (fun m -> Node_id.equal (Member.node m) sender) members)
+
+let suites =
+  [
+    ( "properties.protocol",
+      [
+        QCheck_alcotest.to_alcotest ~long:true prop_reliability;
+        QCheck_alcotest.to_alcotest prop_buffered_subset_received;
+        QCheck_alcotest.to_alcotest prop_traffic_conservation;
+        QCheck_alcotest.to_alcotest prop_idle_respects_threshold;
+        QCheck_alcotest.to_alcotest prop_recovered_latency_nonnegative;
+        QCheck_alcotest.to_alcotest prop_determinism;
+        QCheck_alcotest.to_alcotest prop_occupancy_sane;
+        QCheck_alcotest.to_alcotest prop_churn_consistency;
+      ] );
+  ]

@@ -1,0 +1,270 @@
+(* Tests for ids, latency/loss models, and the region hierarchy. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let node = Alcotest.testable Node_id.pp Node_id.equal
+
+(* ------------------------------------------------------------------ *)
+(* Ids                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_node_id_roundtrip () =
+  let n = Node_id.of_int 42 in
+  Alcotest.(check int) "roundtrip" 42 (Node_id.to_int n);
+  Alcotest.(check string) "pp" "n42" (Node_id.to_string n);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Node_id.of_int: negative id")
+    (fun () -> ignore (Node_id.of_int (-1)))
+
+let test_node_id_order () =
+  let a = Node_id.of_int 1 and b = Node_id.of_int 2 in
+  Alcotest.(check bool) "compare" true (Node_id.compare a b < 0);
+  Alcotest.(check bool) "equal" false (Node_id.equal a b);
+  let set = Node_id.Set.of_list [ b; a; a ] in
+  Alcotest.(check int) "set dedup" 2 (Node_id.Set.cardinal set)
+
+let test_region_id () =
+  let r = Region_id.of_int 3 in
+  Alcotest.(check int) "roundtrip" 3 (Region_id.to_int r);
+  Alcotest.(check string) "pp" "r3" (Region_id.to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_constant () =
+  let rng = Engine.Rng.create ~seed:1 in
+  let l = Latency.create ~intra:(Latency.Constant 5.0) ~inter:(Latency.Constant 50.0) in
+  check_float "intra" 5.0 (Latency.intra l rng);
+  check_float "inter 1 hop = intra leg + hop" 55.0 (Latency.inter l ~hops:1 rng);
+  check_float "inter 3 hops" 155.0 (Latency.inter l ~hops:3 rng)
+
+let test_latency_paper_default_rtt () =
+  (* the paper's setting: 10 ms round trip within a region *)
+  check_float "intra rtt" 10.0 (Latency.intra_rtt Latency.paper_default);
+  check_float "inter rtt 1 hop" 110.0 (Latency.inter_rtt Latency.paper_default ~hops:1)
+
+let test_latency_uniform_bounds () =
+  let rng = Engine.Rng.create ~seed:2 in
+  let l = Latency.create ~intra:(Latency.Uniform { lo = 2.0; hi = 8.0 }) ~inter:(Latency.Constant 0.0) in
+  for _ = 1 to 500 do
+    let d = Latency.intra l rng in
+    Alcotest.(check bool) "in range" true (d >= 2.0 && d < 8.0)
+  done;
+  check_float "mean model" 5.0 (Latency.mean_model (Latency.Uniform { lo = 2.0; hi = 8.0 }))
+
+let test_latency_lognormal_positive () =
+  let rng = Engine.Rng.create ~seed:3 in
+  let model = Latency.Lognormal { median = 20.0; sigma = 0.5 } in
+  for _ = 1 to 500 do
+    Alcotest.(check bool) "positive" true (Latency.sample_model model rng > 0.0)
+  done;
+  (* analytic mean = median * exp(sigma^2/2) *)
+  check_float "mean model" (20.0 *. exp 0.125) (Latency.mean_model model)
+
+let test_latency_validation () =
+  Alcotest.check_raises "negative constant" (Invalid_argument "Latency: negative constant delay")
+    (fun () -> ignore (Latency.create ~intra:(Latency.Constant (-1.0)) ~inter:(Latency.Constant 0.0)));
+  Alcotest.check_raises "hops < 1" (Invalid_argument "Latency.inter: hops must be >= 1")
+    (fun () ->
+      let rng = Engine.Rng.create ~seed:1 in
+      ignore (Latency.inter Latency.paper_default ~hops:0 rng))
+
+(* ------------------------------------------------------------------ *)
+(* Loss                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_loss_lossless () =
+  let t = Loss.create Loss.Lossless ~rng:(Engine.Rng.create ~seed:1) in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "never drops" false
+      (Loss.drop t ~src:(Node_id.of_int 0) ~dst:(Node_id.of_int 1))
+  done
+
+let test_loss_bernoulli_rate () =
+  let t = Loss.create (Loss.Bernoulli 0.2) ~rng:(Engine.Rng.create ~seed:2) in
+  let drops = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Loss.drop t ~src:(Node_id.of_int 0) ~dst:(Node_id.of_int 1) then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "near 0.2" true (abs_float (rate -. 0.2) < 0.02)
+
+let test_loss_gilbert_elliott_stationary () =
+  let model =
+    Loss.Gilbert_elliott
+      { p_good_to_bad = 0.1; p_bad_to_good = 0.3; loss_good = 0.01; loss_bad = 0.5 }
+  in
+  (* stationary: pi_bad = 0.1/0.4 = 0.25; loss = 0.25*0.5 + 0.75*0.01 *)
+  check_float "expected rate" 0.1325 (Loss.expected_loss_rate model);
+  let t = Loss.create model ~rng:(Engine.Rng.create ~seed:3) in
+  let drops = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Loss.drop t ~src:(Node_id.of_int 0) ~dst:(Node_id.of_int 1) then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "empirical near stationary" true (abs_float (rate -. 0.1325) < 0.02)
+
+let test_loss_gilbert_burstiness () =
+  (* with sticky states, consecutive losses should be far more likely
+     than under an independent model of the same rate *)
+  let model =
+    Loss.Gilbert_elliott
+      { p_good_to_bad = 0.01; p_bad_to_good = 0.05; loss_good = 0.0; loss_bad = 0.6 }
+  in
+  let t = Loss.create model ~rng:(Engine.Rng.create ~seed:4) in
+  let src = Node_id.of_int 0 and dst = Node_id.of_int 1 in
+  let n = 50_000 in
+  let losses = ref 0 and pairs = ref 0 and prev = ref false in
+  for _ = 1 to n do
+    let d = Loss.drop t ~src ~dst in
+    if d then incr losses;
+    if d && !prev then incr pairs;
+    prev := d
+  done;
+  let rate = float_of_int !losses /. float_of_int n in
+  let pair_rate = float_of_int !pairs /. float_of_int (max 1 !losses) in
+  Alcotest.(check bool) "bursty: P(loss|loss) >> P(loss)" true (pair_rate > 2.0 *. rate)
+
+let test_loss_validation () =
+  Alcotest.check_raises "bad probability" (Invalid_argument "Loss: loss probability out of [0,1]")
+    (fun () -> ignore (Loss.create (Loss.Bernoulli 1.5) ~rng:(Engine.Rng.create ~seed:1)))
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_region () =
+  let t = Topology.single_region ~size:10 in
+  Alcotest.(check int) "regions" 1 (Topology.region_count t);
+  Alcotest.(check int) "nodes" 10 (Topology.node_count t);
+  let r0 = Region_id.of_int 0 in
+  Alcotest.(check int) "region size" 10 (Topology.region_size t r0);
+  Alcotest.(check (option reject)) "no parent" None
+    (Option.map (fun _ -> ()) (Topology.parent t r0))
+
+let test_chain_structure () =
+  let t = Topology.chain ~sizes:[ 3; 4; 5 ] in
+  let r = Region_id.of_int in
+  Alcotest.(check int) "regions" 3 (Topology.region_count t);
+  Alcotest.(check int) "total nodes" 12 (Topology.node_count t);
+  Alcotest.(check bool) "r1 parent is r0" true
+    (match Topology.parent t (r 1) with Some p -> Region_id.equal p (r 0) | None -> false);
+  Alcotest.(check int) "depth r2" 2 (Topology.depth t (r 2));
+  Alcotest.(check int) "hops r0-r2" 2 (Topology.hops t (r 0) (r 2));
+  Alcotest.(check int) "hops same" 0 (Topology.hops t (r 1) (r 1))
+
+let test_star_structure () =
+  let t = Topology.star ~hub:2 ~leaves:[ 3; 3; 3 ] in
+  let r = Region_id.of_int in
+  Alcotest.(check int) "regions" 4 (Topology.region_count t);
+  Alcotest.(check int) "hops leaf-leaf via hub" 2 (Topology.hops t (r 1) (r 3));
+  Alcotest.(check (list int)) "children of hub" [ 1; 2; 3 ]
+    (List.map Region_id.to_int (Topology.children t (r 0)))
+
+let test_balanced_tree () =
+  let t = Topology.balanced_tree ~fanout:2 ~levels:3 ~region_size:4 in
+  Alcotest.(check int) "regions 1+2+4" 7 (Topology.region_count t);
+  Alcotest.(check int) "nodes" 28 (Topology.node_count t);
+  let r = Region_id.of_int in
+  Alcotest.(check int) "leaf depth" 2 (Topology.depth t (r 6));
+  Alcotest.(check int) "cousin hops" 4 (Topology.hops t (r 3) (r 6))
+
+let test_membership_mutation () =
+  let t = Topology.single_region ~size:3 in
+  let r0 = Region_id.of_int 0 in
+  let fresh = Topology.add_node t r0 in
+  Alcotest.(check int) "grew" 4 (Topology.node_count t);
+  Alcotest.(check bool) "is member" true (Topology.is_member t fresh);
+  Topology.remove_node t fresh;
+  Alcotest.(check int) "shrank" 3 (Topology.node_count t);
+  Alcotest.(check bool) "gone" false (Topology.is_member t fresh);
+  Alcotest.(check int) "ids not reused" 4 (Topology.created_count t);
+  Alcotest.check_raises "double remove" (Invalid_argument "Topology.remove_node: not a member")
+    (fun () -> Topology.remove_node t fresh)
+
+let test_members_sorted_and_except () =
+  let t = Topology.single_region ~size:5 in
+  let r0 = Region_id.of_int 0 in
+  let ms = Topology.members t r0 in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4 ]
+    (Array.to_list (Array.map Node_id.to_int ms));
+  let without = Topology.members_except t r0 (Node_id.of_int 2) in
+  Alcotest.(check (list int)) "except" [ 0; 1; 3; 4 ]
+    (Array.to_list (Array.map Node_id.to_int without))
+
+let test_same_region () =
+  let t = Topology.chain ~sizes:[ 2; 2 ] in
+  let n = Node_id.of_int in
+  Alcotest.(check bool) "same" true (Topology.same_region t (n 0) (n 1));
+  Alcotest.(check bool) "different" false (Topology.same_region t (n 0) (n 2));
+  Topology.remove_node t (n 1);
+  Alcotest.(check bool) "removed node in no region" false (Topology.same_region t (n 0) (n 1))
+
+let test_region_of () =
+  let t = Topology.chain ~sizes:[ 2; 3 ] in
+  (match Topology.region_of t (Node_id.of_int 3) with
+   | Some r -> Alcotest.(check int) "node 3 in region 1" 1 (Region_id.to_int r)
+   | None -> Alcotest.fail "expected a region");
+  Alcotest.(check bool) "unknown node" true (Topology.region_of t (Node_id.of_int 99) = None)
+
+let test_create_validation () =
+  Alcotest.check_raises "self parent" (Invalid_argument "Topology.create: region cannot be its own parent")
+    (fun () -> ignore (Topology.create ~parents:[| Some (Region_id.of_int 0) |]));
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Topology.create: parent relation has a cycle")
+    (fun () ->
+      ignore
+        (Topology.create
+           ~parents:[| Some (Region_id.of_int 1); Some (Region_id.of_int 0) |]))
+
+let qcheck_hops_symmetric =
+  QCheck.Test.make ~name:"hops is symmetric on a random chain" ~count:100
+    QCheck.(pair (int_range 2 8) (pair (int_bound 7) (int_bound 7)))
+    (fun (len, (a, b)) ->
+      let t = Topology.chain ~sizes:(List.init len (fun _ -> 1)) in
+      let a = Region_id.of_int (a mod len) and b = Region_id.of_int (b mod len) in
+      Topology.hops t a b = Topology.hops t b a
+      && Topology.hops t a b = abs (Region_id.to_int a - Region_id.to_int b))
+
+let suites =
+  [
+    ( "topology.ids",
+      [
+        Alcotest.test_case "node id roundtrip" `Quick test_node_id_roundtrip;
+        Alcotest.test_case "node id order" `Quick test_node_id_order;
+        Alcotest.test_case "region id" `Quick test_region_id;
+      ] );
+    ( "topology.latency",
+      [
+        Alcotest.test_case "constant" `Quick test_latency_constant;
+        Alcotest.test_case "paper default rtt" `Quick test_latency_paper_default_rtt;
+        Alcotest.test_case "uniform bounds" `Quick test_latency_uniform_bounds;
+        Alcotest.test_case "lognormal" `Quick test_latency_lognormal_positive;
+        Alcotest.test_case "validation" `Quick test_latency_validation;
+      ] );
+    ( "topology.loss",
+      [
+        Alcotest.test_case "lossless" `Quick test_loss_lossless;
+        Alcotest.test_case "bernoulli rate" `Quick test_loss_bernoulli_rate;
+        Alcotest.test_case "gilbert stationary" `Quick test_loss_gilbert_elliott_stationary;
+        Alcotest.test_case "gilbert burstiness" `Quick test_loss_gilbert_burstiness;
+        Alcotest.test_case "validation" `Quick test_loss_validation;
+      ] );
+    ( "topology.hierarchy",
+      [
+        Alcotest.test_case "single region" `Quick test_single_region;
+        Alcotest.test_case "chain" `Quick test_chain_structure;
+        Alcotest.test_case "star" `Quick test_star_structure;
+        Alcotest.test_case "balanced tree" `Quick test_balanced_tree;
+        Alcotest.test_case "mutation" `Quick test_membership_mutation;
+        Alcotest.test_case "members sorted/except" `Quick test_members_sorted_and_except;
+        Alcotest.test_case "same region" `Quick test_same_region;
+        Alcotest.test_case "region_of" `Quick test_region_of;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        QCheck_alcotest.to_alcotest qcheck_hops_symmetric;
+      ] );
+  ]
+
+let _ = node

@@ -1,0 +1,112 @@
+(* Tests for metrics, CSV output, and the event tracer. *)
+
+module Metrics = Tracing.Metrics
+module Csv = Tracing.Csv
+module Tracer = Tracing.Tracer
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "requests";
+  Metrics.incr ~by:4 m "requests";
+  Metrics.incr m "repairs";
+  Alcotest.(check int) "accumulated" 5 (Metrics.counter m "requests");
+  Alcotest.(check int) "unknown is zero" 0 (Metrics.counter m "nope");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("repairs", 1); ("requests", 5) ]
+    (Metrics.counters m)
+
+let test_metrics_gauges () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "x" 1.5;
+  Metrics.set_gauge m "x" 0.5;
+  Alcotest.(check (option (float 1e-9))) "set overrides" (Some 0.5) (Metrics.gauge m "x");
+  Metrics.max_gauge m "peak" 3.0;
+  Metrics.max_gauge m "peak" 1.0;
+  Alcotest.(check (option (float 1e-9))) "max keeps peak" (Some 3.0) (Metrics.gauge m "peak");
+  Metrics.add_gauge m "sum" 1.0;
+  Metrics.add_gauge m "sum" 2.5;
+  Alcotest.(check (option (float 1e-9))) "add accumulates" (Some 3.5) (Metrics.gauge m "sum")
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.set_gauge m "b" 1.0;
+  Metrics.reset m;
+  Alcotest.(check int) "counter cleared" 0 (Metrics.counter m "a");
+  Alcotest.(check bool) "gauge cleared" true (Metrics.gauge m "b" = None)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain untouched" "abc" (Csv.escape_field "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Csv.escape_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csv.escape_field "a\"b");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Csv.escape_field "a\nb")
+
+let test_csv_rows () =
+  let out = Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ] in
+  Alcotest.(check string) "rendered" "x,y\n1,2\n3,\"4,5\"\n" out
+
+let test_csv_save_roundtrip () =
+  let path = Filename.temp_file "repro_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file content" "a\n1\n2\n" content)
+
+let test_tracer_records () =
+  let t = Tracer.create () in
+  Tracer.record t ~time:1.0 ~subject:"n1" ~event:"delivered" "m0";
+  Tracer.record t ~time:2.0 ~subject:"n2" ~event:"idle" "m0";
+  Alcotest.(check int) "length" 2 (Tracer.length t);
+  match Tracer.entries t with
+  | [ first; second ] ->
+    Alcotest.(check string) "fifo order" "n1" first.Tracer.subject;
+    Alcotest.(check string) "second" "idle" second.Tracer.event
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_tracer_capacity () =
+  let t = Tracer.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Tracer.record t ~time:(float_of_int i) ~subject:"s" ~event:"e" (string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 2 (Tracer.length t);
+  Alcotest.(check int) "dropped counted" 3 (Tracer.dropped t);
+  match Tracer.entries t with
+  | [ a; b ] ->
+    Alcotest.(check string) "keeps newest" "4" a.Tracer.detail;
+    Alcotest.(check string) "keeps newest" "5" b.Tracer.detail
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_tracer_filter () =
+  let t =
+    Tracer.create ~filter:(fun e -> e.Tracer.event = "keep") ()
+  in
+  Tracer.record t ~time:0.0 ~subject:"s" ~event:"keep" "";
+  Tracer.record t ~time:0.0 ~subject:"s" ~event:"drop" "";
+  Alcotest.(check int) "filtered" 1 (Tracer.length t);
+  Alcotest.(check int) "filtered not counted as dropped" 0 (Tracer.dropped t)
+
+let suites =
+  [
+    ( "tracing.metrics",
+      [
+        Alcotest.test_case "counters" `Quick test_metrics_counters;
+        Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+        Alcotest.test_case "reset" `Quick test_metrics_reset;
+      ] );
+    ( "tracing.csv",
+      [
+        Alcotest.test_case "escaping" `Quick test_csv_escaping;
+        Alcotest.test_case "rows" `Quick test_csv_rows;
+        Alcotest.test_case "save roundtrip" `Quick test_csv_save_roundtrip;
+      ] );
+    ( "tracing.tracer",
+      [
+        Alcotest.test_case "records" `Quick test_tracer_records;
+        Alcotest.test_case "capacity" `Quick test_tracer_capacity;
+        Alcotest.test_case "filter" `Quick test_tracer_filter;
+      ] );
+  ]
