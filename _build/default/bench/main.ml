@@ -7,7 +7,19 @@
    Part 2 is a Bechamel microbenchmark suite: one Test.make per
    figure-generating workload (a reduced parameterization of the same
    code path) plus the hot simulator primitives, so performance
-   regressions in the substrate are visible. *)
+   regressions in the substrate are visible.
+
+   Part 3 turns the measurements into machine-readable trajectory
+   files — BENCH_engine.json (simulator primitives, ns/op and
+   events/sec) and BENCH_protocol.json (macro protocol workloads,
+   wall-clock and simulated-events throughput) — so successive commits
+   can be compared without re-parsing console output.
+
+   Usage:
+     main.exe            full reproduction + benchmarks + JSON files
+     main.exe --smoke    one reduced Bechamel iteration per test, then
+                         emit the JSON files and re-parse them (used by
+                         the [bench-smoke] dune alias as a CI check) *)
 
 let reproduce () =
   Format.printf "=====================================================================@.";
@@ -28,150 +40,387 @@ let reproduce () =
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* [ops] is how many interesting operations one run of the staged
+   function performs; it converts ns/run into ops/sec in the JSON. *)
+type bench = { test : Bechamel.Test.t; ops : int }
+
 let bench_rng =
-  Bechamel.Test.make ~name:"engine/rng.bits64 x1k"
-    (Bechamel.Staged.stage (fun () ->
-         let rng = Engine.Rng.create ~seed:1 in
-         let acc = ref 0L in
-         for _ = 1 to 1000 do
-           acc := Int64.add !acc (Engine.Rng.bits64 rng)
-         done;
-         !acc))
+  {
+    ops = 1000;
+    test =
+      Bechamel.Test.make ~name:"engine/rng.bits64 x1k"
+        (Bechamel.Staged.stage (fun () ->
+             let rng = Engine.Rng.create ~seed:1 in
+             let acc = ref 0L in
+             for _ = 1 to 1000 do
+               acc := Int64.add !acc (Engine.Rng.bits64 rng)
+             done;
+             !acc));
+  }
 
 let bench_heap =
-  Bechamel.Test.make ~name:"engine/heap push+pop 1k"
-    (Bechamel.Staged.stage (fun () ->
-         let h = Engine.Heap.create ~compare_priority:Int.compare () in
-         for i = 0 to 999 do
-           Engine.Heap.push h ((i * 7919) mod 1000)
-         done;
-         let acc = ref 0 in
-         let rec drain () =
-           match Engine.Heap.pop h with
-           | Some x ->
-             acc := !acc + x;
-             drain ()
-           | None -> ()
-         in
-         drain ();
-         !acc))
+  {
+    ops = 2000;
+    test =
+      Bechamel.Test.make ~name:"engine/heap push+pop 1k"
+        (Bechamel.Staged.stage (fun () ->
+             let h = Engine.Heap.create ~dummy:0 ~compare_priority:Int.compare () in
+             for i = 0 to 999 do
+               Engine.Heap.push h ((i * 7919) mod 1000)
+             done;
+             let acc = ref 0 in
+             while not (Engine.Heap.is_empty h) do
+               acc := !acc + Engine.Heap.top h;
+               Engine.Heap.remove_top h
+             done;
+             !acc));
+  }
+
+let bench_heapify =
+  {
+    ops = 1000;
+    test =
+      Bechamel.Test.make ~name:"engine/heap push_list 1k (heapify)"
+        (Bechamel.Staged.stage (fun () ->
+             let h = Engine.Heap.create ~dummy:0 ~compare_priority:Int.compare () in
+             Engine.Heap.push_list h (List.init 1000 (fun i -> (i * 7919) mod 1000));
+             Engine.Heap.length h));
+  }
+
+let bench_wheel =
+  {
+    ops = 2000;
+    test =
+      Bechamel.Test.make ~name:"engine/wheel add+pop 1k"
+        (Bechamel.Staged.stage (fun () ->
+             let w =
+               Engine.Wheel.create ~time_of:float_of_int ~compare:Int.compare ()
+             in
+             for i = 0 to 999 do
+               ignore (Engine.Wheel.add w ((i * 7919) mod 1000))
+             done;
+             let acc = ref 0 in
+             let rec drain () =
+               match Engine.Wheel.pop w with
+               | Some x ->
+                 acc := !acc + x;
+                 drain ()
+               | None -> ()
+             in
+             drain ();
+             !acc));
+  }
 
 let bench_sim =
-  Bechamel.Test.make ~name:"engine/sim 1k timer cascade"
-    (Bechamel.Staged.stage (fun () ->
-         let sim = Engine.Sim.create () in
-         let count = ref 0 in
-         let rec tick () =
-           incr count;
-           if !count < 1000 then ignore (Engine.Sim.schedule sim ~delay:1.0 tick)
-         in
-         ignore (Engine.Sim.schedule sim ~delay:1.0 tick);
-         Engine.Sim.run sim;
-         !count))
+  {
+    ops = 1000;
+    test =
+      Bechamel.Test.make ~name:"engine/sim 1k timer cascade"
+        (Bechamel.Staged.stage (fun () ->
+             let sim = Engine.Sim.create () in
+             let count = ref 0 in
+             let rec tick () =
+               incr count;
+               if !count < 1000 then ignore (Engine.Sim.schedule sim ~delay:1.0 tick)
+             in
+             ignore (Engine.Sim.schedule sim ~delay:1.0 tick);
+             Engine.Sim.run sim;
+             !count));
+  }
+
+let bench_sim_cancel =
+  {
+    ops = 1000;
+    test =
+      Bechamel.Test.make ~name:"engine/sim schedule+cancel churn 1k"
+        (Bechamel.Staged.stage (fun () ->
+             let sim = Engine.Sim.create () in
+             for i = 1 to 1000 do
+               let h = Engine.Sim.schedule sim ~delay:(float_of_int (i mod 97)) ignore in
+               Engine.Sim.cancel h
+             done;
+             Engine.Sim.run sim;
+             Engine.Sim.pending sim));
+  }
 
 let bench_poisson =
-  Bechamel.Test.make ~name:"stats/poisson pmf k=0..20"
-    (Bechamel.Staged.stage (fun () ->
-         let acc = ref 0.0 in
-         for k = 0 to 20 do
-           acc := !acc +. Stats.Dist.poisson_pmf ~lambda:6.0 k
-         done;
-         !acc))
+  {
+    ops = 21;
+    test =
+      Bechamel.Test.make ~name:"stats/poisson pmf k=0..20"
+        (Bechamel.Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for k = 0 to 20 do
+               acc := !acc +. Stats.Dist.poisson_pmf ~lambda:6.0 k
+             done;
+             !acc));
+  }
 
 (* one Test.make per figure: the same code path as the reproduction,
    at a parameterization small enough to iterate *)
 
 let bench_fig3 =
-  Bechamel.Test.make ~name:"fig3 (coin-flip MC, 200 trials)"
-    (Bechamel.Staged.stage (fun () -> Experiments.Fig3.run ~mc_trials:200 ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig3 (coin-flip MC, 200 trials)"
+        (Bechamel.Staged.stage (fun () -> Experiments.Fig3.run ~mc_trials:200 ()));
+  }
 
 let bench_fig4 =
-  Bechamel.Test.make ~name:"fig4 (MC + 5 protocol runs/C)"
-    (Bechamel.Staged.stage (fun () ->
-         Experiments.Fig4.run ~mc_trials:1_000 ~protocol_trials:5 ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig4 (MC + 5 protocol runs/C)"
+        (Bechamel.Staged.stage (fun () ->
+             Experiments.Fig4.run ~mc_trials:1_000 ~protocol_trials:5 ()));
+  }
 
 let bench_fig6 =
-  Bechamel.Test.make ~name:"fig6 (1 trial/point)"
-    (Bechamel.Staged.stage (fun () -> Experiments.Fig6.run ~trials:1 ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig6 (1 trial/point)"
+        (Bechamel.Staged.stage (fun () -> Experiments.Fig6.run ~trials:1 ()));
+  }
 
 let bench_fig7 =
-  Bechamel.Test.make ~name:"fig7 (one sampled run)"
-    (Bechamel.Staged.stage (fun () -> Experiments.Fig7.run ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig7 (one sampled run)"
+        (Bechamel.Staged.stage (fun () -> Experiments.Fig7.run ()));
+  }
 
 let bench_fig8 =
-  Bechamel.Test.make ~name:"fig8 (3 trials/point)"
-    (Bechamel.Staged.stage (fun () -> Experiments.Fig8.run ~trials:3 ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig8 (3 trials/point)"
+        (Bechamel.Staged.stage (fun () -> Experiments.Fig8.run ~trials:3 ()));
+  }
 
 let bench_fig9 =
-  Bechamel.Test.make ~name:"fig9 (2 trials, 3 sizes)"
-    (Bechamel.Staged.stage (fun () ->
-         Experiments.Fig9.run ~trials:2 ~region_sizes:[ 100; 400; 1000 ] ()))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"fig9 (2 trials, 3 sizes)"
+        (Bechamel.Staged.stage (fun () ->
+             Experiments.Fig9.run ~trials:2 ~region_sizes:[ 100; 400; 1000 ] ()));
+  }
 
 let bench_delivery =
-  Bechamel.Test.make ~name:"rrmp/one lossless multicast, n=100"
-    (Bechamel.Staged.stage (fun () ->
-         let group =
-           Rrmp.Group.create ~seed:1 ~topology:(Topology.single_region ~size:100) ()
-         in
-         let id = Rrmp.Group.multicast group () in
-         Rrmp.Group.run group;
-         Rrmp.Group.count_received group id))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"rrmp/one lossless multicast, n=100"
+        (Bechamel.Staged.stage (fun () ->
+             let group =
+               Rrmp.Group.create ~seed:1 ~topology:(Topology.single_region ~size:100) ()
+             in
+             let id = Rrmp.Group.multicast group () in
+             Rrmp.Group.run group;
+             Rrmp.Group.count_received group id));
+  }
 
 let bench_recovery =
-  Bechamel.Test.make ~name:"rrmp/regional loss recovery, 2x20"
-    (Bechamel.Staged.stage (fun () ->
-         let topology = Topology.chain ~sizes:[ 20; 20 ] in
-         let group = Rrmp.Group.create ~seed:1 ~topology () in
-         let id =
-           Rrmp.Group.multicast_reaching group ~reach:(fun n -> Node_id.to_int n < 20) ()
-         in
-         List.iter
-           (fun m -> Rrmp.Member.inject_loss m id)
-           (Rrmp.Group.members_of_region group (Region_id.of_int 1));
-         Rrmp.Group.run group;
-         Rrmp.Group.count_received group id))
+  {
+    ops = 1;
+    test =
+      Bechamel.Test.make ~name:"rrmp/regional loss recovery, 2x20"
+        (Bechamel.Staged.stage (fun () ->
+             let topology = Topology.chain ~sizes:[ 20; 20 ] in
+             let group = Rrmp.Group.create ~seed:1 ~topology () in
+             let id =
+               Rrmp.Group.multicast_reaching group
+                 ~reach:(fun n -> Node_id.to_int n < 20)
+                 ()
+             in
+             List.iter
+               (fun m -> Rrmp.Member.inject_loss m id)
+               (Rrmp.Group.members_of_region group (Region_id.of_int 1));
+             Rrmp.Group.run group;
+             Rrmp.Group.count_received group id));
+  }
 
-let microbench () =
+let engine_benches =
+  [ bench_rng; bench_heap; bench_heapify; bench_wheel; bench_sim; bench_sim_cancel;
+    bench_poisson ]
+
+let macro_benches =
+  [ bench_fig3; bench_fig4; bench_fig6; bench_fig7; bench_fig8; bench_fig9;
+    bench_delivery; bench_recovery ]
+
+type bench_result = { name : string; ns_per_run : float; ops_per_run : int }
+
+let run_benches ~smoke benches =
   let open Bechamel in
-  let tests =
-    [
-      bench_rng;
-      bench_heap;
-      bench_sim;
-      bench_poisson;
-      bench_fig3;
-      bench_fig4;
-      bench_fig6;
-      bench_fig7;
-      bench_fig8;
-      bench_fig9;
-      bench_delivery;
-      bench_recovery;
-    ]
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.01) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ()
   in
-  Format.printf "=====================================================================@.";
-  Format.printf " Bechamel microbenchmarks (monotonic clock per run)@.";
-  Format.printf "=====================================================================@.";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  List.iter
-    (fun test ->
+  List.concat_map
+    (fun { test; ops } ->
       let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
+      Hashtbl.fold
+        (fun name raw acc ->
           match
             Analyze.one
               (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
               Toolkit.Instance.monotonic_clock raw
           with
-          | exception _ -> Format.printf "  %-40s (analysis failed)@." name
+          | exception _ ->
+            Format.printf "  %-40s (analysis failed)@." name;
+            acc
           | result ->
             (match Analyze.OLS.estimates result with
-             | Some [ est ] -> Format.printf "  %-40s %12.0f ns/run@." name est
-             | Some _ | None -> Format.printf "  %-40s (no estimate)@." name))
-        results)
-    tests
+             | Some [ est ] ->
+               Format.printf "  %-40s %12.0f ns/run@." name est;
+               { name; ns_per_run = est; ops_per_run = ops } :: acc
+             | Some _ | None ->
+               Format.printf "  %-40s (no estimate)@." name;
+               acc))
+        results [])
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Macro protocol workloads: simulated-event throughput                *)
+(* ------------------------------------------------------------------ *)
+
+type macro_result = { m_name : string; wall_s : float; sim_events : int }
+
+let measure_macro m_name build =
+  let t0 = Unix.gettimeofday () in
+  let group = build () in
+  Rrmp.Group.run group;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { m_name; wall_s; sim_events = Engine.Sim.events_executed (Rrmp.Group.sim group) }
+
+(* fig6-shaped: one region, every multicast reaches everyone, buffering
+   and gossip dominate — measures the common no-loss fast path *)
+let macro_single_region ~size ~msgs () =
+  let group = Rrmp.Group.create ~seed:7 ~topology:(Topology.single_region ~size) () in
+  for _ = 1 to msgs do
+    ignore (Rrmp.Group.multicast group ())
+  done;
+  group
+
+(* fig8-shaped: two regions, the second misses every initial multicast
+   and recovers regionally — measures the error-recovery path *)
+let macro_recovery ~size ~msgs () =
+  let topology = Topology.chain ~sizes:[ size; size ] in
+  let group = Rrmp.Group.create ~seed:7 ~topology () in
+  for _ = 1 to msgs do
+    let id =
+      Rrmp.Group.multicast_reaching group ~reach:(fun n -> Node_id.to_int n < size) ()
+    in
+    List.iter
+      (fun m -> Rrmp.Member.inject_loss m id)
+      (Rrmp.Group.members_of_region group (Region_id.of_int 1))
+  done;
+  group
+
+let run_macros ~smoke () =
+  let scale = if smoke then 1 else 4 in
+  let workloads =
+    [
+      ("macro/single-region n=200", macro_single_region ~size:200 ~msgs:(5 * scale));
+      ("macro/recovery 2x50", macro_recovery ~size:50 ~msgs:(5 * scale));
+    ]
+  in
+  List.map
+    (fun (name, build) ->
+      let r = measure_macro name build in
+      Format.printf "  %-40s %8.3f s  %9d sim events  %12.0f ev/s@." r.m_name r.wall_s
+        r.sim_events
+        (float_of_int r.sim_events /. Float.max r.wall_s 1e-9);
+      r)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory files                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_result_json { name; ns_per_run; ops_per_run } =
+  let ns_per_op = ns_per_run /. float_of_int ops_per_run in
+  Tracing.Json.Obj
+    [
+      ("name", Tracing.Json.String name);
+      ("ns_per_run", Tracing.Json.Float ns_per_run);
+      ("ops_per_run", Tracing.Json.Int ops_per_run);
+      ("ns_per_op", Tracing.Json.Float ns_per_op);
+      ("ops_per_sec", Tracing.Json.Float (1e9 /. Float.max ns_per_op 1e-9));
+    ]
+
+let macro_result_json { m_name; wall_s; sim_events } =
+  Tracing.Json.Obj
+    [
+      ("name", Tracing.Json.String m_name);
+      ("wall_s", Tracing.Json.Float wall_s);
+      ("sim_events", Tracing.Json.Int sim_events);
+      ( "events_per_sec",
+        Tracing.Json.Float (float_of_int sim_events /. Float.max wall_s 1e-9) );
+    ]
+
+let suite_json ~suite ~smoke results =
+  Tracing.Json.Obj
+    [
+      ("schema", Tracing.Json.String "bench-trajectory/v1");
+      ("suite", Tracing.Json.String suite);
+      ("mode", Tracing.Json.String (if smoke then "smoke" else "full"));
+      ("results", Tracing.Json.List results);
+    ]
+
+let write_json path v =
+  let oc = open_out path in
+  output_string oc (Tracing.Json.to_string v);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* smoke check: the emitted files must round-trip through the parser
+   and carry the expected schema/shape *)
+let validate_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let v = Tracing.Json.of_string text in
+  let schema = Option.bind (Tracing.Json.member "schema" v) Tracing.Json.to_string_opt in
+  if schema <> Some "bench-trajectory/v1" then
+    failwith (path ^ ": missing or wrong schema tag");
+  match Option.bind (Tracing.Json.member "results" v) Tracing.Json.to_list_opt with
+  | None -> failwith (path ^ ": missing results array")
+  | Some results ->
+    List.iter
+      (fun r ->
+        match Option.bind (Tracing.Json.member "name" r) Tracing.Json.to_string_opt with
+        | None -> failwith (path ^ ": result entry without a name")
+        | Some _ -> ())
+      results;
+    Format.printf "validated %s (%d results)@." path (List.length results)
+
+let bench ~smoke () =
+  Format.printf "=====================================================================@.";
+  Format.printf " Bechamel microbenchmarks (monotonic clock per run)@.";
+  Format.printf "=====================================================================@.";
+  let engine = run_benches ~smoke engine_benches in
+  let micro = run_benches ~smoke macro_benches in
+  Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Macro protocol workloads@.";
+  Format.printf "---------------------------------------------------------------------@.";
+  let macros = run_macros ~smoke () in
+  write_json "BENCH_engine.json"
+    (suite_json ~suite:"engine" ~smoke (List.rev_map bench_result_json engine));
+  write_json "BENCH_protocol.json"
+    (suite_json ~suite:"protocol" ~smoke
+       (List.rev_map bench_result_json micro @ List.map macro_result_json macros));
+  if smoke then begin
+    validate_json "BENCH_engine.json";
+    validate_json "BENCH_protocol.json"
+  end
 
 let () =
-  reproduce ();
-  microbench ()
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  if not smoke then reproduce ();
+  bench ~smoke ()

@@ -1,1 +1,1 @@
-lib/engine/heap.ml: Array
+lib/engine/heap.ml: Array List

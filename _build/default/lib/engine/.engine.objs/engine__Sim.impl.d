@@ -1,1 +1,1 @@
-lib/engine/sim.ml: Float Heap
+lib/engine/sim.ml: Float Heap Int Wheel

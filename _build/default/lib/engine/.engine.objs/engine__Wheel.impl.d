@@ -1,0 +1,1 @@
+lib/engine/wheel.ml: Array List

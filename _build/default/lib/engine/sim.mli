@@ -3,22 +3,37 @@
     A [t] owns a virtual clock (in milliseconds) and an event queue.
     Events scheduled for the same instant run in the order they were
     scheduled, which together with {!Rng} makes runs fully
-    deterministic. Callbacks may schedule further events. *)
+    deterministic. Callbacks may schedule further events.
+
+    Internally, short-horizon events (the common case: protocol timers,
+    packet deliveries) live in a hierarchical {!Wheel} with O(1)
+    schedule/cancel, while far-future events fall back to a binary
+    {!Heap}; every event carries a global sequence number and both
+    structures order by (fire-time, seq), so the split never changes
+    execution order. *)
 
 type t
 
 type handle
 (** A scheduled event that can be cancelled before it fires. *)
 
-val create : ?now:float -> unit -> t
-(** Fresh simulation with the clock at [now] (default 0.0 ms). *)
+val create : ?now:float -> ?wheel:bool -> unit -> t
+(** Fresh simulation with the clock at [now] (default 0.0 ms). [wheel]
+    (default [true]) routes short-horizon events through the timer
+    wheel; pass [false] to force the pure-heap scheduler (reference
+    semantics for equivalence tests). *)
 
 val now : t -> float
 (** Current virtual time in milliseconds. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    reaped). *)
+(** Number of events still queued, including cancelled ones that have
+    been neither reaped nor compacted away. *)
+
+val cancelled_pending : t -> int
+(** Cancelled events still sitting in the queue. Once these exceed half
+    of {!pending} (beyond a small floor), the next schedule triggers a
+    compaction pass that drops them in bulk. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. A negative
@@ -30,7 +45,8 @@ val schedule_at : t -> at:float -> (unit -> unit) -> handle
     [now t]). *)
 
 val cancel : handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** O(1); cancelling an already-fired or already-cancelled event is a
+    no-op. *)
 
 val cancelled : handle -> bool
 

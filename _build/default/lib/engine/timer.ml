@@ -1,4 +1,11 @@
 module Idle = struct
+  (* Touch-heavy idle timers (RRMP resets one on *every* recovery
+     request) rely on [Sim.cancel] being a lazy O(1) state flip and on
+     the scheduler's bulk compaction to reap the churn; the reschedule
+     itself is an O(1) wheel insert. The eager cancel+re-arm (rather
+     than a lazily re-armed deadline) keeps the replacement event's
+     sequence number assigned at touch time, so FIFO ordering among
+     same-instant events — and therefore seeded runs — is unchanged. *)
   type t = {
     sim : Sim.t;
     timeout : float;

@@ -1,1 +1,1 @@
-lib/membership/view.ml: Array Engine Node_id Region_id Seq Topology
+lib/membership/view.ml: Array Engine Node_id Region_id Topology

@@ -30,12 +30,17 @@ type 'msg t = {
   rng : Engine.Rng.t;
   handlers : ('msg delivery -> unit) Node_id.Table.t;
   counters : (string, mutable_counter) Hashtbl.t;
+  (* hot-path memo over [counters]: traffic classes are a handful of
+     (physically shared) literals, so a pointer-compared association
+     list beats hashing the string on every packet *)
+  mutable counter_cache : (string * mutable_counter) list;
   mutable hook : ('msg delivery -> unit) option;
   bandwidth : 'msg bandwidth option;
   egress_free_at : float Node_id.Table.t;  (* per-src link-free time *)
+  batched : bool;
 }
 
-let create ~sim ~topology ~latency ~loss ~rng ?bandwidth () =
+let create ~sim ~topology ~latency ~loss ~rng ?bandwidth ?(batched = true) () =
   (match bandwidth with
    | Some b when b.bytes_per_ms <= 0.0 ->
      invalid_arg "Network.create: bandwidth must be positive"
@@ -48,9 +53,11 @@ let create ~sim ~topology ~latency ~loss ~rng ?bandwidth () =
     rng;
     handlers = Node_id.Table.create 256;
     counters = Hashtbl.create 16;
+    counter_cache = [];
     hook = None;
     bandwidth;
     egress_free_at = Node_id.Table.create 64;
+    batched;
   }
 
 let sim t = t.sim
@@ -63,12 +70,24 @@ let register t node handler = Node_id.Table.replace t.handlers node handler
 
 let unregister t node = Node_id.Table.remove t.handlers node
 
+let rec cached_counter cls = function
+  | [] -> raise_notrace Not_found
+  | (k, c) :: rest -> if k == cls then c else cached_counter cls rest
+
 let counter_for t cls =
-  match Hashtbl.find_opt t.counters cls with
-  | Some c -> c
-  | None ->
-    let c = { m_sent = 0; m_delivered = 0; m_dropped_loss = 0; m_dropped_dead = 0 } in
-    Hashtbl.add t.counters cls c;
+  match cached_counter cls t.counter_cache with
+  | c -> c
+  | exception Not_found ->
+    let c =
+      match Hashtbl.find_opt t.counters cls with
+      | Some c -> c
+      | None ->
+        let c = { m_sent = 0; m_delivered = 0; m_dropped_loss = 0; m_dropped_dead = 0 } in
+        Hashtbl.add t.counters cls c;
+        c
+    in
+    (* bound the memo so adversarial dynamic class names cannot grow it *)
+    if List.length t.counter_cache < 32 then t.counter_cache <- (cls, c) :: t.counter_cache;
     c
 
 let delay_between t ~src ~dst =
@@ -82,8 +101,7 @@ let delay_between t ~src ~dst =
        charge an intra-region delay *)
     Latency.intra t.latency t.rng
 
-let deliver t ~cls ~src ~dst ~sent_at msg =
-  let c = counter_for t cls in
+let deliver t ~c ~cls ~src ~dst ~sent_at msg =
   if not (Topology.is_member t.topology dst) then
     c.m_dropped_dead <- c.m_dropped_dead + 1
   else
@@ -121,49 +139,139 @@ let send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
     let delay = extra_delay +. delay_between t ~src ~dst in
     ignore
       (Engine.Sim.schedule t.sim ~delay (fun () ->
-           deliver t ~cls ~src ~dst ~sent_at msg))
+           deliver t ~c:(counter_for t cls) ~cls ~src ~dst ~sent_at msg))
   end
 
 let unicast t ~cls ~src ~dst msg =
   let extra_delay = egress_delay t ~src msg in
   send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg
 
+(* ------------------------------------------------------------------ *)
+(* Batched multicast fan-out                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One multicast used to schedule one simulator event per receiver; at
+   region sizes in the hundreds that made the event queue the
+   bottleneck. The batched fan-out samples loss and latency per
+   destination at send time, in exactly the same order as the unbatched
+   path (so seeded runs are bit-identical), but groups destinations by
+   sampled delay and schedules a single event per distinct delay that
+   expands to the group's deliveries when it fires. Under the paper's
+   constant-latency models a whole regional multicast collapses to one
+   queue entry.
+
+   Ordering note: group events are scheduled in first-destination order
+   within the (atomic) fan-out loop, so their sequence numbers preserve
+   the relative order the per-receiver events would have had; receivers
+   inside a group are delivered in membership order. Execution order is
+   therefore identical to the unbatched path. *)
+
+type group = { g_delay : float; mutable g_dsts : Node_id.t list (* reversed *) }
+
+let rec group_find delay = function
+  | [] -> raise_notrace Not_found
+  | g :: rest -> if Float.equal g.g_delay delay then g else group_find delay rest
+
+let fire_group t ~cls ~src ~sent_at dsts msg () =
+  let c = counter_for t cls in
+  List.iter (fun dst -> deliver t ~c ~cls ~src ~dst ~sent_at msg) dsts
+
+let batched_fanout t ~cls ~src ~sent_at groups msg =
+  List.iter
+    (fun g ->
+      ignore
+        (Engine.Sim.schedule t.sim ~delay:g.g_delay
+           (fire_group t ~cls ~src ~sent_at (List.rev g.g_dsts) msg)))
+    (List.rev groups)
+
+let add_to_group groups delay dst =
+  match group_find delay !groups with
+  | g -> g.g_dsts <- dst :: g.g_dsts
+  | exception Not_found -> groups := { g_delay = delay; g_dsts = [ dst ] } :: !groups
+
 (* a multicast is one transmission at the source: the egress is charged
    once, not per receiver *)
 let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
   let extra_delay = egress_delay t ~src msg in
   let members = Topology.members t.topology region in
-  Array.iter
-    (fun dst ->
-      if include_src || not (Node_id.equal dst src) then
-        send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
-    members
+  if not t.batched then
+    Array.iter
+      (fun dst ->
+        if include_src || not (Node_id.equal dst src) then
+          send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
+      members
+  else begin
+    let c = counter_for t cls in
+    let sent_at = Engine.Sim.now t.sim in
+    let groups = ref [] in
+    Array.iter
+      (fun dst ->
+        if include_src || not (Node_id.equal dst src) then begin
+          c.m_sent <- c.m_sent + 1;
+          if Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+          else add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
+        end)
+      members;
+    batched_fanout t ~cls ~src ~sent_at !groups msg
+  end
 
 let ip_multicast t ~cls ~src ~reach msg =
   let extra_delay = egress_delay t ~src msg in
-  Array.iter
-    (fun dst ->
-      if not (Node_id.equal dst src) then begin
-        let c = counter_for t cls in
-        c.m_sent <- c.m_sent + 1;
-        if reach dst then begin
-          let sent_at = Engine.Sim.now t.sim in
-          let delay = extra_delay +. delay_between t ~src ~dst in
-          ignore
-            (Engine.Sim.schedule t.sim ~delay (fun () ->
-                 deliver t ~cls ~src ~dst ~sent_at msg))
-        end
-        else c.m_dropped_loss <- c.m_dropped_loss + 1
-      end)
-    (Topology.all_nodes t.topology)
+  let all = Topology.all_nodes t.topology in
+  if not t.batched then
+    Array.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then begin
+          let c = counter_for t cls in
+          c.m_sent <- c.m_sent + 1;
+          if reach dst then begin
+            let sent_at = Engine.Sim.now t.sim in
+            let delay = extra_delay +. delay_between t ~src ~dst in
+            ignore
+              (Engine.Sim.schedule t.sim ~delay (fun () ->
+                   deliver t ~c:(counter_for t cls) ~cls ~src ~dst ~sent_at msg))
+          end
+          else c.m_dropped_loss <- c.m_dropped_loss + 1
+        end)
+      all
+  else begin
+    let c = counter_for t cls in
+    let sent_at = Engine.Sim.now t.sim in
+    let groups = ref [] in
+    Array.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then begin
+          c.m_sent <- c.m_sent + 1;
+          if reach dst then add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
+          else c.m_dropped_loss <- c.m_dropped_loss + 1
+        end)
+      all;
+    batched_fanout t ~cls ~src ~sent_at !groups msg
+  end
 
 let ip_multicast_lossy t ~cls ~src msg =
   let extra_delay = egress_delay t ~src msg in
-  Array.iter
-    (fun dst ->
-      if not (Node_id.equal dst src) then
-        send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
-    (Topology.all_nodes t.topology)
+  let all = Topology.all_nodes t.topology in
+  if not t.batched then
+    Array.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then
+          send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
+      all
+  else begin
+    let c = counter_for t cls in
+    let sent_at = Engine.Sim.now t.sim in
+    let groups = ref [] in
+    Array.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then begin
+          c.m_sent <- c.m_sent + 1;
+          if Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+          else add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
+        end)
+      all;
+    batched_fanout t ~cls ~src ~sent_at !groups msg
+  end
 
 let stats t ~cls =
   match Hashtbl.find_opt t.counters cls with
@@ -183,7 +291,9 @@ let total_sent t = Hashtbl.fold (fun _ c acc -> acc + c.m_sent) t.counters 0
 
 let total_delivered t = Hashtbl.fold (fun _ c acc -> acc + c.m_delivered) t.counters 0
 
-let reset_stats t = Hashtbl.reset t.counters
+let reset_stats t =
+  Hashtbl.reset t.counters;
+  t.counter_cache <- []
 
 let set_delivery_hook t hook = t.hook <- hook
 

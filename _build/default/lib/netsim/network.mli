@@ -35,10 +35,19 @@ val create :
   loss:Loss.t ->
   rng:Engine.Rng.t ->
   ?bandwidth:'msg bandwidth ->
+  ?batched:bool ->
   unit ->
   'msg t
 (** Without [bandwidth], links have infinite capacity (the paper's
-    setting). *)
+    setting).
+
+    [batched] (default [true]) schedules one simulator event per
+    distinct sampled delay for each multicast instead of one per
+    receiver; loss and latency are still sampled per receiver, in
+    membership order, at send time, so seeded runs produce identical
+    deliveries, counters and event ordering either way. Pass [false]
+    to force the per-receiver reference path (used by equivalence
+    tests). *)
 
 val sim : 'msg t -> Engine.Sim.t
 

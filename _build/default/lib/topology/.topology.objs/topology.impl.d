@@ -1,1 +1,1 @@
-lib/topology/topology.ml: Array Format List Node_id Region_id Seq
+lib/topology/topology.ml: Array Format List Node_id Region_id

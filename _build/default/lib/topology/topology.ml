@@ -9,6 +9,8 @@ type t = {
   mutable node_region : Region_id.t option array; (* indexed by node id *)
   mutable next_node : int;
   mutable live : int;
+  hops_cache : int array; (* flattened R x R memo; -1 = not yet computed *)
+  mutable all_nodes_cache : Node_id.t array option;
 }
 
 let region_count t = Array.length t.region_infos
@@ -46,7 +48,14 @@ let create ~parents =
       (fun parent -> { parent; member_set = Node_id.Set.empty; members_cache = None })
       parents
   in
-  { region_infos; node_region = Array.make 64 None; next_node = 0; live = 0 }
+  {
+    region_infos;
+    node_region = Array.make 64 None;
+    next_node = 0;
+    live = 0;
+    hops_cache = Array.make (Array.length region_infos * Array.length region_infos) (-1);
+    all_nodes_cache = None;
+  }
 
 let info t r = t.region_infos.(Region_id.to_int r)
 
@@ -67,6 +76,7 @@ let add_node t r =
   let region_info = info t r in
   region_info.member_set <- Node_id.Set.add node region_info.member_set;
   invalidate region_info;
+  t.all_nodes_cache <- None;
   t.live <- t.live + 1;
   node
 
@@ -82,6 +92,7 @@ let remove_node t node =
     let region_info = info t r in
     region_info.member_set <- Node_id.Set.remove node region_info.member_set;
     invalidate region_info;
+    t.all_nodes_cache <- None;
     t.live <- t.live - 1
 
 let node_count t = t.live
@@ -99,10 +110,28 @@ let members t r =
     region_info.members_cache <- Some arr;
     arr
 
+(* fresh array each call (callers cache it); built with a counting pass
+   instead of a Seq pipeline — this runs once per member on every view
+   refresh, so the closure-per-element cost was visible in profiles *)
 let members_except t r node =
-  members t r |> Array.to_seq
-  |> Seq.filter (fun m -> not (Node_id.equal m node))
-  |> Array.of_seq
+  let all = members t r in
+  let n = Array.length all in
+  let excluded = ref 0 in
+  for i = 0 to n - 1 do
+    if Node_id.equal all.(i) node then incr excluded
+  done;
+  if !excluded = 0 then Array.copy all
+  else begin
+    let out = Array.make (n - !excluded) all.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if not (Node_id.equal all.(i) node) then begin
+        out.(!j) <- all.(i);
+        incr j
+      end
+    done;
+    out
+  end
 
 let region_size t r = Node_id.Set.cardinal (info t r).member_set
 
@@ -126,31 +155,50 @@ let depth t r =
 
 let rec ancestors t r = r :: (match parent t r with None -> [] | Some p -> ancestors t p)
 
+let compute_hops t ra rb =
+  let up_a = ancestors t ra and up_b = ancestors t rb in
+  let in_b r = List.exists (Region_id.equal r) up_b in
+  match List.find_opt in_b up_a with
+  | None -> invalid_arg "Topology.hops: regions in different trees"
+  | Some lca ->
+    let dist path =
+      let rec count acc = function
+        | [] -> assert false
+        | r :: rest -> if Region_id.equal r lca then acc else count (acc + 1) rest
+      in
+      count 0 path
+    in
+    dist up_a + dist up_b
+
+(* the region graph is immutable after [create], so hop distances are
+   memoized per pair — this sits on the per-packet latency path *)
 let hops t ra rb =
   if Region_id.equal ra rb then 0
   else begin
-    let up_a = ancestors t ra and up_b = ancestors t rb in
-    let in_b r = List.exists (Region_id.equal r) up_b in
-    match List.find_opt in_b up_a with
-    | None -> invalid_arg "Topology.hops: regions in different trees"
-    | Some lca ->
-      let dist path =
-        let rec count acc = function
-          | [] -> assert false
-          | r :: rest -> if Region_id.equal r lca then acc else count (acc + 1) rest
-        in
-        count 0 path
-      in
-      dist up_a + dist up_b
+    let key = (Region_id.to_int ra * region_count t) + Region_id.to_int rb in
+    let cached = t.hops_cache.(key) in
+    if cached >= 0 then cached
+    else begin
+      let h = compute_hops t ra rb in
+      t.hops_cache.(key) <- h;
+      h
+    end
   end
 
+(* cached: session-wide multicast fans out over this array on every
+   send, and rebuilding the set union per packet dominated the cost *)
 let all_nodes t =
-  let sets =
-    Array.fold_left
-      (fun acc region_info -> Node_id.Set.union acc region_info.member_set)
-      Node_id.Set.empty t.region_infos
-  in
-  Array.of_list (Node_id.Set.elements sets)
+  match t.all_nodes_cache with
+  | Some arr -> arr
+  | None ->
+    let sets =
+      Array.fold_left
+        (fun acc region_info -> Node_id.Set.union acc region_info.member_set)
+        Node_id.Set.empty t.region_infos
+    in
+    let arr = Array.of_list (Node_id.Set.elements sets) in
+    t.all_nodes_cache <- Some arr;
+    arr
 
 let regions t = List.init (region_count t) Region_id.of_int
 

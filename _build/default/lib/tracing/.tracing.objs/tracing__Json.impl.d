@@ -1,0 +1,1 @@
+lib/tracing/json.ml: Buffer Char Float List Printf String

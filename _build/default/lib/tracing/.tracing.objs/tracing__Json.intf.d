@@ -1,0 +1,1 @@
+lib/tracing/json.mli:

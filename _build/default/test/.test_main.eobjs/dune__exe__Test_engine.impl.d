@@ -1,1 +1,1 @@
-test/test_engine.ml: Alcotest Array Engine Fun Hashtbl Heap Int List Option QCheck QCheck_alcotest Rng Sim Timer
+test/test_engine.ml: Alcotest Array Engine Fun Gc Hashtbl Heap Int List Option QCheck QCheck_alcotest Rng Sim Stdlib Sys Timer Weak Wheel

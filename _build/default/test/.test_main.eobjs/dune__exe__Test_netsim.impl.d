@@ -1,1 +1,1 @@
-test/test_netsim.ml: Alcotest Engine Latency List Loss Netsim Node_id Region_id Topology
+test/test_netsim.ml: Alcotest Array Engine Latency List Loss Netsim Node_id Region_id Topology

@@ -1,0 +1,66 @@
+(** Hierarchical timer wheel for short-horizon events.
+
+    Entries are bucketed by integer tick ([time / granularity]) into
+    three levels of slots (256 x 1 tick, 64 x 256 ticks, 64 x 16384
+    ticks — a horizon of 2^20 ticks). {!add} is O(1); entries in coarse
+    slots cascade down lazily, exactly once per level, as the cursor
+    crosses window boundaries.
+
+    Despite the bucketing, {!pop} order is *exact*: each drained bucket
+    is sorted once by the caller-supplied total order (normally
+    (fire-time, sequence-number)), and entries landing behind the cursor
+    are merge-inserted, so a wheel-backed scheduler fires events in
+    precisely the same order as a heap-backed one. *)
+
+type 'a t
+
+val create :
+  ?granularity:float ->
+  ?start:float ->
+  time_of:('a -> float) ->
+  compare:('a -> 'a -> int) ->
+  unit ->
+  'a t
+(** [create ~time_of ~compare ()] is an empty wheel whose cursor starts
+    at [start] (default 0.0). [granularity] (default 1.0) is the tick
+    width in the same unit as [time_of]. [compare] must be a total order
+    consistent with [time_of] (equal times broken deterministically). *)
+
+val granularity : 'a t -> float
+
+val horizon : 'a t -> float
+(** Entries with [time_of] at or beyond this absolute time are rejected
+    by {!add}. The horizon advances as the wheel drains. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> bool
+(** Insert an entry; O(1). Returns [false] (without inserting) when the
+    entry lies beyond {!horizon} — the caller should fall back to its
+    far-future structure. Entries behind the cursor are accepted and
+    merge-inserted in order. *)
+
+val peek : 'a t -> 'a option
+(** Earliest entry (by [compare]) without removing it. Amortized O(1);
+    may advance the cursor (lazy cascading). *)
+
+val top : 'a t -> default:'a -> 'a
+(** Allocation-free {!peek}: [default] when empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the earliest entry. *)
+
+val drop_head : 'a t -> unit
+(** Remove the entry {!top} returned (no-op if none is staged). Only
+    meaningful directly after {!top}/{!peek} returned an entry. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Drop every entry failing the predicate (used to purge cancelled
+    events); O(n). *)
+
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** All entries, in unspecified order (for inspection/tests). *)

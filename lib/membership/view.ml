@@ -47,6 +47,32 @@ let random_local t rng = random_in t.local rng
 
 let random_parent t rng = random_in t.parent rng
 
+(* draw among local members minus [not_equal] without materializing the
+   candidate array; one Rng.int over the candidate count, exactly like
+   picking from the filtered array *)
 let random_local_other t rng ~not_equal =
-  let candidates = Array.of_seq (Seq.filter (fun m -> not (Node_id.equal m not_equal)) (Array.to_seq t.local)) in
-  random_in candidates rng
+  let local = t.local in
+  let n = Array.length local in
+  let excluded = ref 0 in
+  for i = 0 to n - 1 do
+    if Node_id.equal local.(i) not_equal then incr excluded
+  done;
+  let count = n - !excluded in
+  if count = 0 then None
+  else begin
+    let k = Engine.Rng.int rng count in
+    let seen = ref 0 in
+    let found = ref None in
+    (try
+       for i = 0 to n - 1 do
+         if not (Node_id.equal local.(i) not_equal) then begin
+           if !seen = k then begin
+             found := Some local.(i);
+             raise_notrace Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    !found
+  end

@@ -177,8 +177,10 @@ let qcheck_rng_int_in_range =
 (* Heap                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let int_heap () = Heap.create ~dummy:0 ~compare_priority:Int.compare ()
+
 let test_heap_order () =
-  let h = Heap.create ~compare_priority:Int.compare () in
+  let h = int_heap () in
   List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
   let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
   Alcotest.(check (list int)) "ascending" [ 1; 1; 3; 4; 5 ] popped;
@@ -186,13 +188,15 @@ let test_heap_order () =
 
 let test_heap_fifo_ties () =
   (* equal priorities must pop in insertion order *)
-  let h = Heap.create ~compare_priority:(fun (a, _) (b, _) -> Int.compare a b) () in
+  let h =
+    Heap.create ~dummy:(0, "") ~compare_priority:(fun (a, _) (b, _) -> Int.compare a b) ()
+  in
   List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
   let popped = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
   Alcotest.(check (list string)) "fifo among ties" [ "z"; "a"; "b"; "c" ] popped
 
 let test_heap_peek () =
-  let h = Heap.create ~compare_priority:Int.compare () in
+  let h = int_heap () in
   Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
   Heap.push h 2;
   Heap.push h 1;
@@ -200,23 +204,142 @@ let test_heap_peek () =
   Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
 
 let test_heap_clear () =
-  let h = Heap.create ~compare_priority:Int.compare () in
+  let h = int_heap () in
   List.iter (Heap.push h) [ 1; 2; 3 ];
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h);
   Heap.push h 9;
   Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
 
+let test_heap_push_list () =
+  (* bulk load into an empty heap goes through Floyd heapify; bulk load
+     into a non-empty heap falls back to per-element sift *)
+  let h = int_heap () in
+  Heap.push_list h [ 9; 2; 7; 2; 5 ];
+  Heap.push_list h [ 1; 8 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "merged sorted" [ 1; 2; 2; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_top_remove_top () =
+  let h = int_heap () in
+  Alcotest.(check int) "top of empty is dummy" 0 (Heap.top h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check int) "top is min" 1 (Heap.top h);
+  Heap.remove_top h;
+  Alcotest.(check int) "next top" 3 (Heap.top h);
+  Heap.remove_top h;
+  Heap.remove_top h (* removing from empty is a no-op *);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_no_space_retention () =
+  (* popped slots must be overwritten with the dummy so the GC can
+     reclaim popped values even while the heap object stays alive *)
+  let dummy = ref (-1) in
+  let h = Heap.create ~dummy ~compare_priority:(fun a b -> Int.compare !a !b) () in
+  let n = 16 in
+  let weak = Weak.create n in
+  let fill () =
+    for i = 0 to n - 1 do
+      let v = ref i in
+      Weak.set weak i (Some v);
+      Heap.push h v
+    done
+  in
+  fill ();
+  let rec drain () = if Heap.pop h <> None then drain () in
+  drain ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "popped values collectable" 0 !live;
+  ignore (Sys.opaque_identity h)
+
 let qcheck_heap_sorts =
   QCheck.Test.make ~name:"heap pops any int list sorted" ~count:300
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~compare_priority:Int.compare () in
+      let h = int_heap () in
       List.iter (Heap.push h) xs;
       let rec drain acc =
         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
       in
       drain [] = List.sort compare xs)
+
+let qcheck_heap_push_list_sorts =
+  QCheck.Test.make ~name:"heap push_list equals sequential pushes" ~count:300
+    QCheck.(pair (list int) (list int))
+    (fun (xs, ys) ->
+      let h = int_heap () in
+      Heap.push_list h xs;
+      Heap.push_list h ys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare (xs @ ys))
+
+(* ------------------------------------------------------------------ *)
+(* Wheel                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let timed_wheel () = Wheel.create ~time_of:fst ~compare:Stdlib.compare ()
+
+let drain_wheel w =
+  let rec go acc = match Wheel.pop w with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let test_wheel_sorted_across_levels () =
+  let w = timed_wheel () in
+  (* ticks spanning all three levels, plus an exact tie broken by seq *)
+  let xs =
+    [ (5.2, 1); (0.1, 2); (5.2, 3); (900_000.0, 4); (300.7, 5); (70_000.3, 6); (5.2, 7) ]
+  in
+  List.iter (fun x -> Alcotest.(check bool) "accepted" true (Wheel.add w x)) xs;
+  Alcotest.(check int) "length" (List.length xs) (Wheel.length w);
+  Alcotest.(check (list (pair (float 1e-9) int))) "drained in order"
+    (List.sort compare xs) (drain_wheel w)
+
+let test_wheel_horizon_rejects () =
+  let w = timed_wheel () in
+  Alcotest.(check bool) "anchor" true (Wheel.add w (0.0, 0));
+  Alcotest.(check bool) "beyond horizon rejected" false (Wheel.add w (2e6, 1));
+  Alcotest.(check int) "rejected entry not stored" 1 (Wheel.length w)
+
+let test_wheel_add_behind_cursor () =
+  let w = timed_wheel () in
+  ignore (Wheel.add w (10.0, 1));
+  Alcotest.(check (option (pair (float 1e-9) int))) "first" (Some (10.0, 1)) (Wheel.pop w);
+  (* the cursor has moved past tick 3; late adds must still come out,
+     and in order *)
+  ignore (Wheel.add w (5.0, 3));
+  ignore (Wheel.add w (3.0, 2));
+  Alcotest.(check (list (pair (float 1e-9) int))) "late adds ordered"
+    [ (3.0, 2); (5.0, 3) ] (drain_wheel w)
+
+let test_wheel_filter_in_place () =
+  let w = timed_wheel () in
+  List.iter (fun x -> ignore (Wheel.add w x))
+    [ (1.0, 1); (2.0, 2); (300.0, 3); (70_000.0, 4) ];
+  Wheel.filter_in_place w (fun (_, i) -> i mod 2 = 0);
+  Alcotest.(check (list (pair (float 1e-9) int))) "survivors in order"
+    [ (2.0, 2); (70_000.0, 4) ] (drain_wheel w)
+
+let qcheck_wheel_sorts =
+  QCheck.Test.make ~name:"wheel pops accepted entries in order" ~count:300
+    QCheck.(list (int_bound 3_000_000))
+    (fun ticks ->
+      let w = timed_wheel () in
+      let kept = ref [] in
+      List.iteri
+        (fun i v ->
+          let entry = (float_of_int v /. 3.0, i) in
+          if Wheel.add w entry then kept := entry :: !kept)
+        ticks;
+      drain_wheel w = List.sort compare (List.rev !kept))
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                 *)
@@ -305,6 +428,74 @@ let test_sim_events_executed_excludes_cancelled () =
   Sim.cancel h;
   Sim.run sim;
   Alcotest.(check int) "one executed" 1 (Sim.events_executed sim)
+
+let test_sim_compaction () =
+  let sim = Sim.create () in
+  let hs = Array.init 100 (fun i -> Sim.schedule sim ~delay:(float_of_int i +. 1.0) ignore) in
+  Array.iteri (fun i h -> if i < 70 then Sim.cancel h) hs;
+  Alcotest.(check int) "cancelled tracked" 70 (Sim.cancelled_pending sim);
+  Alcotest.(check int) "still queued" 100 (Sim.pending sim);
+  (* cancelled > half of pending: the next schedule triggers compaction *)
+  ignore (Sim.schedule sim ~delay:500.0 ignore);
+  Alcotest.(check int) "compacted away" 0 (Sim.cancelled_pending sim);
+  Alcotest.(check int) "survivors only" 31 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "survivors all fire" 31 (Sim.events_executed sim)
+
+let test_sim_far_future_heap_fallback () =
+  (* events beyond the wheel horizon (2^20 ms) take the heap path and
+     must still interleave correctly with near events *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let mark label () = log := label :: !log in
+  ignore (Sim.schedule sim ~delay:2_000_000.0 (mark "far"));
+  ignore (Sim.schedule sim ~delay:1.0 (mark "near"));
+  ignore (Sim.schedule sim ~delay:3_000_000.0 (mark "farther"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "near first" [ "near"; "far"; "farther" ] (List.rev !log);
+  check_float "clock at last" 3_000_000.0 (Sim.now sim)
+
+(* Wheel/heap scheduler equivalence: any randomized mix of schedules
+   (near, tie-prone, beyond-horizon), cancels, reschedules-on-fire (the
+   RRMP idle-reset shape) and partial runs must produce the same firing
+   log, clock and event count whether or not the wheel is enabled. *)
+let sim_trace ~wheel ops =
+  let sim = Sim.create ~wheel () in
+  let log = ref [] in
+  let handles = ref [] in
+  let n_handles = ref 0 in
+  let next_label = ref 0 in
+  let rec sched delay =
+    let label = !next_label in
+    incr next_label;
+    let h =
+      Sim.schedule sim ~delay (fun () ->
+          log := (label, Sim.now sim) :: !log;
+          (* every third event reschedules itself once, like an idle
+             timer being touched by traffic *)
+          if label mod 3 = 0 && label < 2000 then
+            sched (float_of_int (label mod 7) /. 2.0))
+    in
+    handles := h :: !handles;
+    incr n_handles
+  in
+  List.iter
+    (fun (tag, v) ->
+      match tag mod 6 with
+      | 0 | 1 -> sched (float_of_int (v mod 2000) *. 0.75)
+      | 2 -> sched (float_of_int (v mod 13) /. 4.0) (* tie-prone *)
+      | 3 -> sched (1_000_000.0 +. float_of_int v) (* near/beyond horizon *)
+      | 4 ->
+        if !n_handles > 0 then Sim.cancel (List.nth !handles (v mod !n_handles))
+      | _ -> Sim.run ~until:(Sim.now sim +. float_of_int (v mod 300)) sim)
+    ops;
+  Sim.run sim;
+  (List.rev !log, Sim.now sim, Sim.events_executed sim)
+
+let qcheck_sim_wheel_equivalence =
+  QCheck.Test.make ~name:"wheel and heap schedulers are equivalent" ~count:1000
+    QCheck.(list (pair small_nat (int_bound 10_000)))
+    (fun ops -> sim_trace ~wheel:true ops = sim_trace ~wheel:false ops)
 
 (* ------------------------------------------------------------------ *)
 (* Timer                                                               *)
@@ -400,7 +591,19 @@ let suites =
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "peek" `Quick test_heap_peek;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "push_list" `Quick test_heap_push_list;
+        Alcotest.test_case "top/remove_top" `Quick test_heap_top_remove_top;
+        Alcotest.test_case "no space retention" `Quick test_heap_no_space_retention;
         QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        QCheck_alcotest.to_alcotest qcheck_heap_push_list_sorts;
+      ] );
+    ( "engine.wheel",
+      [
+        Alcotest.test_case "sorted across levels" `Quick test_wheel_sorted_across_levels;
+        Alcotest.test_case "horizon rejects" `Quick test_wheel_horizon_rejects;
+        Alcotest.test_case "add behind cursor" `Quick test_wheel_add_behind_cursor;
+        Alcotest.test_case "filter in place" `Quick test_wheel_filter_in_place;
+        QCheck_alcotest.to_alcotest qcheck_wheel_sorts;
       ] );
     ( "engine.sim",
       [
@@ -412,6 +615,9 @@ let suites =
         Alcotest.test_case "negative delay clamped" `Quick test_sim_negative_delay_clamped;
         Alcotest.test_case "max events" `Quick test_sim_max_events;
         Alcotest.test_case "executed excludes cancelled" `Quick test_sim_events_executed_excludes_cancelled;
+        Alcotest.test_case "compaction reaps cancelled" `Quick test_sim_compaction;
+        Alcotest.test_case "far-future heap fallback" `Quick test_sim_far_future_heap_fallback;
+        QCheck_alcotest.to_alcotest qcheck_sim_wheel_equivalence;
       ] );
     ( "engine.timer",
       [
