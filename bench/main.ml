@@ -15,11 +15,20 @@
    wall-clock and simulated-events throughput) — so successive commits
    can be compared without re-parsing console output.
 
+   Part 4 measures the domain-parallel experiment runner: each
+   workload runs once at -j 1 and once at -j N, the two reports are
+   required to be byte-identical, and BENCH_parallel.json records the
+   wall-clock pair plus the speedup.
+
    Usage:
-     main.exe            full reproduction + benchmarks + JSON files
-     main.exe --smoke    one reduced Bechamel iteration per test, then
-                         emit the JSON files and re-parse them (used by
-                         the [bench-smoke] dune alias as a CI check) *)
+     main.exe             full reproduction + benchmarks + JSON files
+     main.exe --smoke     one reduced Bechamel iteration per test, then
+                          emit the JSON files and re-parse them (used by
+                          the [bench-smoke] dune alias as a CI check)
+     main.exe -j N        worker domains for the parallel suite
+                          (default 4, clamped to >= 2)
+     main.exe --det-check run one experiment at -j 1 and -j 4 and exit
+                          nonzero if the reports differ (CI guard) *)
 
 let reproduce () =
   Format.printf "=====================================================================@.";
@@ -400,7 +409,94 @@ let validate_json path =
       results;
     Format.printf "validated %s (%d results)@." path (List.length results)
 
-let bench ~smoke () =
+(* ------------------------------------------------------------------ *)
+(* Parallel runner: sequential vs multi-domain wall-clock              *)
+(* ------------------------------------------------------------------ *)
+
+let render_report report = Format.asprintf "%a" Experiments.Report.pp report
+
+(* run [f] with the worker-count setting temporarily forced to [jobs] *)
+let at_jobs jobs f =
+  let saved = Engine.Pool.default_workers () in
+  Engine.Pool.set_default_workers jobs;
+  Fun.protect ~finally:(fun () -> Engine.Pool.set_default_workers saved) f
+
+type parallel_result = {
+  p_name : string;
+  seq_wall_s : float;
+  par_wall_s : float;
+  p_jobs : int;
+  speedup : float;
+}
+
+(* trial-heavy workloads: enough independent Monte-Carlo trials that
+   the fan-out has real work to spread across domains *)
+let parallel_workloads ~smoke =
+  let scale = if smoke then 1 else 4 in
+  [
+    ("parallel/fig6", fun () -> ignore (Experiments.Fig6.run ~trials:(5 * scale) ()));
+    ("parallel/fig8", fun () -> ignore (Experiments.Fig8.run ~trials:(5 * scale) ()));
+    ( "parallel/ext_protocols",
+      fun () -> ignore (Experiments.Ext_protocols.run ~trials:(2 * scale) ()) );
+  ]
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_parallel ~smoke ~jobs () =
+  (* determinism is checked on a real report, not just the timings *)
+  let check_identical () =
+    let seq = at_jobs 1 (fun () -> render_report (Experiments.Fig6.run ~trials:3 ())) in
+    let par = at_jobs jobs (fun () -> render_report (Experiments.Fig6.run ~trials:3 ())) in
+    if seq <> par then failwith "parallel suite: fig6 report differs between -j 1 and -j N"
+  in
+  check_identical ();
+  List.map
+    (fun (p_name, work) ->
+      let seq_wall_s = at_jobs 1 (fun () -> timed work) in
+      let par_wall_s = at_jobs jobs (fun () -> timed work) in
+      let speedup = seq_wall_s /. Float.max par_wall_s 1e-9 in
+      Format.printf "  %-40s seq %7.3f s  par(-j %d) %7.3f s  speedup %5.2fx@." p_name
+        seq_wall_s jobs par_wall_s speedup;
+      { p_name; seq_wall_s; par_wall_s; p_jobs = jobs; speedup })
+    (parallel_workloads ~smoke)
+
+let parallel_result_json { p_name; seq_wall_s; par_wall_s; p_jobs; speedup } =
+  Tracing.Json.Obj
+    [
+      ("name", Tracing.Json.String p_name);
+      ("seq_wall_s", Tracing.Json.Float seq_wall_s);
+      ("par_wall_s", Tracing.Json.Float par_wall_s);
+      ("jobs", Tracing.Json.Int p_jobs);
+      ("speedup", Tracing.Json.Float speedup);
+    ]
+
+(* --det-check: the CI guard behind the bench-smoke alias — one
+   experiment at -j 1 vs -j 4, byte-compared *)
+let det_check () =
+  let id = "fig8" in
+  let run () =
+    match Experiments.Registry.find id with
+    | Some e -> render_report (e.Experiments.Registry.run ~quick:true)
+    | None -> failwith ("det-check: unknown experiment " ^ id)
+  in
+  let seq = at_jobs 1 run in
+  let par = at_jobs 4 run in
+  if seq = par then begin
+    Format.printf "det-check: %s identical at -j 1 and -j 4 (%d bytes)@." id
+      (String.length seq);
+    0
+  end
+  else begin
+    Format.printf "det-check: %s DIFFERS between -j 1 and -j 4@." id;
+    Format.printf "--- -j 1 ---@.%s@." seq;
+    Format.printf "--- -j 4 ---@.%s@." par;
+    1
+  end
+
+let bench ~smoke ~jobs () =
   Format.printf "=====================================================================@.";
   Format.printf " Bechamel microbenchmarks (monotonic clock per run)@.";
   Format.printf "=====================================================================@.";
@@ -410,17 +506,36 @@ let bench ~smoke () =
   Format.printf " Macro protocol workloads@.";
   Format.printf "---------------------------------------------------------------------@.";
   let macros = run_macros ~smoke () in
+  Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Parallel experiment runner (deterministic; -j %d)@." jobs;
+  Format.printf "---------------------------------------------------------------------@.";
+  let parallels = run_parallel ~smoke ~jobs () in
   write_json "BENCH_engine.json"
     (suite_json ~suite:"engine" ~smoke (List.rev_map bench_result_json engine));
   write_json "BENCH_protocol.json"
     (suite_json ~suite:"protocol" ~smoke
        (List.rev_map bench_result_json micro @ List.map macro_result_json macros));
+  write_json "BENCH_parallel.json"
+    (suite_json ~suite:"parallel" ~smoke (List.map parallel_result_json parallels));
   if smoke then begin
     validate_json "BENCH_engine.json";
-    validate_json "BENCH_protocol.json"
+    validate_json "BENCH_protocol.json";
+    validate_json "BENCH_parallel.json"
   end
 
 let () =
-  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
-  if not smoke then reproduce ();
-  bench ~smoke ()
+  let argv = Sys.argv in
+  let jobs = ref 4 in
+  Array.iteri
+    (fun i a ->
+      if (a = "-j" || a = "--jobs") && i + 1 < Array.length argv then
+        match int_of_string_opt argv.(i + 1) with
+        | Some n when n >= 2 -> jobs := n
+        | _ -> failwith ("bad -j value: " ^ argv.(i + 1)))
+    argv;
+  if Array.exists (String.equal "--det-check") argv then exit (det_check ())
+  else begin
+    let smoke = Array.exists (String.equal "--smoke") argv in
+    if not smoke then reproduce ();
+    bench ~smoke ~jobs:!jobs ()
+  end

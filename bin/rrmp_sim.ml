@@ -34,13 +34,25 @@ let csv_dir_opt =
   let doc = "Also write each result table as CSV into $(docv)." in
   Cmdliner.Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
 
+let jobs_opt =
+  let doc =
+    "Worker domains for Monte-Carlo trials (default: $(b,REPRO_JOBS) or the machine's \
+     core count). Results are byte-identical for every value; $(docv)=1 forces the \
+     sequential path."
+  in
+  Cmdliner.Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+(* set_default_workers clamps to a sane range, so any integer is safe *)
+let apply_jobs = function None -> () | Some n -> Engine.Pool.set_default_workers n
+
 let run_cmd =
   let doc = "Run one experiment (or 'all') and print its table." in
   let id_arg =
     let doc = "Experiment id (see $(b,list)), or 'all'." in
     Cmdliner.Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"ID")
   in
-  let run id quick csv_dir =
+  let run id quick csv_dir jobs =
+    apply_jobs jobs;
     let entries =
       if id = "all" then Ok Experiments.Registry.all
       else
@@ -63,7 +75,7 @@ let run_cmd =
       0
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
-    Cmdliner.Term.(const run $ id_arg $ quick_flag $ csv_dir_opt)
+    Cmdliner.Term.(const run $ id_arg $ quick_flag $ csv_dir_opt $ jobs_opt)
 
 (* --- session ------------------------------------------------------ *)
 

@@ -1,0 +1,155 @@
+(* One job = one chunked index range. Workers pull chunks through the
+   atomic cursor until it passes [n]; a failing chunk records the first
+   exception and slams the cursor to [n] so the other workers stop at
+   their next pull instead of burning through doomed work. *)
+type job = {
+  n : int;
+  chunk : int;
+  cursor : int Atomic.t;
+  body : int -> unit;
+  failed : exn option Atomic.t;
+}
+
+type t = {
+  mutable domains : unit Domain.t array;
+  total : int; (* workers including the submitting domain *)
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable epoch : int; (* bumped per submission; wakes parked workers *)
+  mutable remaining : int; (* spawned workers still on the current job *)
+  mutable stop : bool;
+}
+
+let size t = t.total
+
+let drain job =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add job.cursor job.chunk in
+    if lo < job.n then begin
+      let hi = Int.min (lo + job.chunk) job.n in
+      (try
+         for i = lo to hi - 1 do
+           job.body i
+         done
+       with e ->
+         ignore (Atomic.compare_and_set job.failed None (Some e));
+         Atomic.set job.cursor job.n);
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stop) && t.epoch = !epoch do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      epoch := t.epoch;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.m;
+      drain job;
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let clamp_workers w = if w < 1 then 1 else if w > 128 then 128 else w
+
+(* the process-wide -j / REPRO_JOBS setting (main domain only) *)
+let jobs_setting = ref None
+
+let default_workers () =
+  match !jobs_setting with
+  | Some j -> j
+  | None ->
+    let j =
+      match Option.bind (Sys.getenv_opt "REPRO_JOBS") int_of_string_opt with
+      | Some v -> clamp_workers v
+      | None -> clamp_workers (Domain.recommended_domain_count ())
+    in
+    jobs_setting := Some j;
+    j
+
+let set_default_workers w = jobs_setting := Some (clamp_workers w)
+
+let create ?workers () =
+  let total =
+    match workers with
+    | None -> default_workers ()
+    | Some w when w >= 1 -> w
+    | Some _ -> invalid_arg "Pool.create: workers must be >= 1"
+  in
+  let t =
+    {
+      domains = [||];
+      total;
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      remaining = 0;
+      stop = false;
+    }
+  in
+  t.domains <- Array.init (total - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let parallel_for t ?(chunk = 1) ~n body =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+  if n > 0 then begin
+    let job = { n; chunk; cursor = Atomic.make 0; body; failed = Atomic.make None } in
+    if Array.length t.domains = 0 then drain job
+    else begin
+      Mutex.lock t.m;
+      (match t.job with
+       | Some _ ->
+         Mutex.unlock t.m;
+         invalid_arg "Pool.parallel_for: nested or concurrent submission"
+       | None -> ());
+      t.job <- Some job;
+      t.epoch <- t.epoch + 1;
+      t.remaining <- Array.length t.domains;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.m;
+      (* the submitting domain is a worker too *)
+      drain job;
+      Mutex.lock t.m;
+      while t.remaining > 0 do
+        Condition.wait t.work_done t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m
+    end;
+    match Atomic.get job.failed with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let global_pool = ref None
+
+let global () =
+  let want = default_workers () in
+  match !global_pool with
+  | Some p when p.total = want -> p
+  | prev ->
+    (match prev with Some p -> shutdown p | None -> ());
+    let p = create ~workers:want () in
+    global_pool := Some p;
+    p

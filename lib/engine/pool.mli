@@ -1,0 +1,59 @@
+(** Reusable fixed-size domain pool for embarrassingly parallel loops.
+
+    A pool owns [workers - 1] long-lived worker domains (the submitting
+    domain is the remaining worker); {!parallel_for} hands them a
+    chunked index range through an atomic cursor and blocks until every
+    index has been processed. The pool is reusable across submissions —
+    domains are spawned once at {!create} and parked on a condition
+    variable between jobs, so a submission costs two lock round-trips,
+    not [workers] domain spawns.
+
+    The pool makes no ordering promise between indices of one job;
+    callers that need determinism must make each index's work
+    self-contained (own RNG, own simulator) and combine results in
+    index order afterwards, as {!Experiments.Runner} does. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Pool with [workers] total workers (the caller plus [workers - 1]
+    spawned domains). Default {!default_workers}. A 1-worker pool spawns
+    no domains and runs jobs inline on the caller.
+    @raise Invalid_argument if [workers < 1]. *)
+
+val size : t -> int
+(** Total workers, including the submitting domain. *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n body] runs [body i] for every [0 <= i < n],
+    distributing indices over the pool in [chunk]-sized blocks
+    (default 1 — right for coarse trial-sized work items). Blocks until
+    all indices are done. If one or more [body] calls raise, the
+    remaining chunks are abandoned, every worker returns to its parked
+    state, and the first-recorded exception is re-raised here — the
+    pool stays usable. Submissions must not be nested or concurrent
+    (the caller's domain is one of the workers);
+    @raise Invalid_argument on a nested submission or [chunk < 1]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. The pool must be idle. *)
+
+(** {2 Process-wide job-count setting}
+
+    The experiment runner sizes its shared pool from one process-wide
+    setting: [REPRO_JOBS] in the environment, overridden by
+    {!set_default_workers} (the [-j] flag), falling back to
+    [Domain.recommended_domain_count ()]. [REPRO_JOBS=1] / [-j 1]
+    disables parallel execution entirely. *)
+
+val default_workers : unit -> int
+(** Current setting, clamped to [1, 128]. *)
+
+val set_default_workers : int -> unit
+(** Override the setting (clamped to [1, 128]); the next {!global} call
+    re-sizes the shared pool if needed. *)
+
+val global : unit -> t
+(** Shared pool sized to {!default_workers}, created on first use and
+    transparently replaced (old one shut down) when the setting
+    changes. Must only be used from the main domain. *)

@@ -38,15 +38,19 @@ let one_run ~adaptive ~delay_scale ~region ~seed =
   }
 
 let summarize ~adaptive ~delay_scale ~region ~trials ~seed =
+  let outcomes =
+    Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+        one_run ~adaptive ~delay_scale ~region ~seed)
+  in
   let unanswerable = Stats.Summary.create () in
   let unrecovered = Stats.Summary.create () in
   let requests = Stats.Summary.create () in
-  for i = 0 to trials - 1 do
-    let o = one_run ~adaptive ~delay_scale ~region ~seed:(seed + i) in
-    Stats.Summary.add unanswerable (float_of_int o.unanswerable);
-    Stats.Summary.add unrecovered (float_of_int o.unrecovered);
-    Stats.Summary.add requests (float_of_int o.local_requests)
-  done;
+  Array.iter
+    (fun o ->
+      Stats.Summary.add unanswerable (float_of_int o.unanswerable);
+      Stats.Summary.add unrecovered (float_of_int o.unrecovered);
+      Stats.Summary.add requests (float_of_int o.local_requests))
+    outcomes;
   (unanswerable, unrecovered, requests)
 
 let run ?(delay_scales = [ 1.0; 2.0; 4.0 ]) ?(region = 100) ?(trials = 10) ?(seed = 1) () =

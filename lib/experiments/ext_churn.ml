@@ -25,12 +25,16 @@ let one_trial ~handoff ~region ~departures ~c ~seed =
   (initial_bufferers > 0, Rrmp.Group.count_buffered group id > 0)
 
 let survival ~handoff ~region ~departures ~c ~trials ~seed =
+  let outcomes =
+    Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+        one_trial ~handoff ~region ~departures ~c ~seed)
+  in
   let survived = ref 0 and had_bufferer = ref 0 in
-  for i = 0 to trials - 1 do
-    let initial, final = one_trial ~handoff ~region ~departures ~c ~seed:(seed + i) in
-    if initial then incr had_bufferer;
-    if initial && final then incr survived
-  done;
+  Array.iter
+    (fun (initial, final) ->
+      if initial then incr had_bufferer;
+      if initial && final then incr survived)
+    outcomes;
   if !had_bufferer = 0 then 0.0 else float_of_int !survived /. float_of_int !had_bufferer
 
 let run ?(region = 30) ?(departures = 25) ?(c = 4.0) ?(trials = 100) ?(seed = 1) () =

@@ -44,11 +44,9 @@ let tree_completion ~bandwidth ~region ~seed ~horizon =
   read ()
 
 let mean_of f ~trials ~seed =
+  let values = Runner.par_map_trials ~trials ~base_seed:seed f in
   let s = Stats.Summary.create () in
-  for i = 0 to trials - 1 do
-    let v = f ~seed:(seed + i) in
-    if not (Float.is_nan v) then Stats.Summary.add s v
-  done;
+  Array.iter (fun v -> if not (Float.is_nan v) then Stats.Summary.add s v) values;
   if Stats.Summary.count s = 0 then Float.nan else Stats.Summary.mean s
 
 let run ?(bandwidths = [ Float.infinity; 1000.0; 300.0; 100.0 ]) ?(region = 100)

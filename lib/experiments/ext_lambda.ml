@@ -29,26 +29,28 @@ let run ?(lambdas = [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]) ?(upstream = 50) ?(downst
   let rows =
     List.map
       (fun lambda ->
+        let outcomes =
+          Runner.par_map_trials ~trials
+            ~base_seed:(seed + int_of_float (lambda *. 131_071.0))
+            (fun ~seed -> one_trial ~lambda ~upstream ~downstream ~seed)
+        in
         let latency = Stats.Summary.create () in
         let remote = Stats.Summary.create () in
         let regional = Stats.Summary.create () in
         let unrecoverable = ref 0 in
-        for i = 0 to trials - 1 do
-          let recovered, mean_latency, remote_sent, regional_sent =
-            one_trial ~lambda ~upstream ~downstream
-              ~seed:(seed + i + int_of_float (lambda *. 131_071.0))
-          in
-          (* a run where the upstream region kept zero long-term
-             bufferers (probability ~e^-C) is unrecoverable — the
-             Section 5 limitation; report it separately so it does not
-             pollute the traffic/latency means *)
-          if recovered then begin
-            Stats.Summary.add latency mean_latency;
-            Stats.Summary.add remote (float_of_int remote_sent);
-            Stats.Summary.add regional (float_of_int regional_sent)
-          end
-          else incr unrecoverable
-        done;
+        Array.iter
+          (fun (recovered, mean_latency, remote_sent, regional_sent) ->
+            (* a run where the upstream region kept zero long-term
+               bufferers (probability ~e^-C) is unrecoverable — the
+               Section 5 limitation; report it separately so it does not
+               pollute the traffic/latency means *)
+            if recovered then begin
+              Stats.Summary.add latency mean_latency;
+              Stats.Summary.add remote (float_of_int remote_sent);
+              Stats.Summary.add regional (float_of_int regional_sent)
+            end
+            else incr unrecoverable)
+          outcomes;
         [
           Printf.sprintf "%.2f" lambda;
           Report.cell_f (Stats.Summary.mean latency);

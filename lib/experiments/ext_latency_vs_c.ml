@@ -43,16 +43,19 @@ let run ?(cs = [ 1.0; 2.0; 4.0; 6.0; 8.0; 12.0 ]) ?(upstream = 100) ?(downstream
   let rows =
     List.map
       (fun c ->
+        let outcomes =
+          Runner.par_map_trials ~trials
+            ~base_seed:(seed + int_of_float (c *. 1000.))
+            (fun ~seed -> one_trial ~c ~upstream ~downstream ~seed)
+        in
         let latency = Stats.Summary.create () in
         let bufferers = Stats.Summary.create () in
         let failures = ref 0 in
-        for i = 0 to trials - 1 do
-          let mean_latency, recovered, nbuf =
-            one_trial ~c ~upstream ~downstream ~seed:(seed + i + int_of_float (c *. 1000.))
-          in
-          Stats.Summary.add bufferers (float_of_int nbuf);
-          if recovered then Stats.Summary.add latency mean_latency else incr failures
-        done;
+        Array.iter
+          (fun (mean_latency, recovered, nbuf) ->
+            Stats.Summary.add bufferers (float_of_int nbuf);
+            if recovered then Stats.Summary.add latency mean_latency else incr failures)
+          outcomes;
         [
           Printf.sprintf "%.0f" c;
           Report.cell_f (Stats.Summary.mean bufferers);

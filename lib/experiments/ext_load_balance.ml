@@ -60,13 +60,14 @@ let tree_run ~region ~messages ~spacing ~reach_prob ~horizon ~seed =
 let run ?(region = 50) ?(messages = 50) ?(spacing = 20.0) ?(reach_prob = 0.9)
     ?(horizon = 5_000.0) ?(trials = 5) ?(seed = 1) () =
   let summarize f =
+    let spreads = Runner.par_map_trials ~trials ~base_seed:seed f in
     let max_share = Stats.Summary.create () in
     let g = Stats.Summary.create () in
-    for i = 0 to trials - 1 do
-      let s = f ~seed:(seed + i) in
-      Stats.Summary.add max_share s.max_share;
-      Stats.Summary.add g s.gini_coeff
-    done;
+    Array.iter
+      (fun s ->
+        Stats.Summary.add max_share s.max_share;
+        Stats.Summary.add g s.gini_coeff)
+      spreads;
     (Stats.Summary.mean max_share, Stats.Summary.mean g)
   in
   let rrmp_share, rrmp_gini =

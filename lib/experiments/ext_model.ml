@@ -2,7 +2,7 @@ let rtt = 10.0 (* paper setting: 10 ms intra-region round trip *)
 
 let measure ~region ~bufferers ~trials ~seed =
   let summary =
-    Runner.mean_over_seeds ~trials ~base_seed:seed (fun ~seed ->
+    Runner.par_mean_over_seeds ~trials ~base_seed:seed (fun ~seed ->
         Fig8.search_time ~region ~bufferers ~seed)
   in
   Stats.Summary.mean summary

@@ -76,20 +76,22 @@ let run ?(region = 60) ?(messages = 30) ?(spacing = 20.0) ?(reach_prob = 0.9)
   let rows =
     List.map
       (fun (name, policy, lifetime) ->
+        let measurements =
+          Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+              one_run ~policy ~lifetime ~region ~messages ~spacing ~reach_prob ~horizon
+                ~seed)
+        in
         let occ = Stats.Summary.create () in
         let peak = Stats.Summary.create () in
         let control = Stats.Summary.create () in
         let compl_ = Stats.Summary.create () in
-        for i = 0 to trials - 1 do
-          let m =
-            one_run ~policy ~lifetime ~region ~messages ~spacing ~reach_prob ~horizon
-              ~seed:(seed + i)
-          in
-          Stats.Summary.add occ m.occupancy_per_member;
-          Stats.Summary.add peak (float_of_int m.peak_buffer);
-          Stats.Summary.add control (float_of_int m.control_packets);
-          Stats.Summary.add compl_ m.completeness
-        done;
+        Array.iter
+          (fun m ->
+            Stats.Summary.add occ m.occupancy_per_member;
+            Stats.Summary.add peak (float_of_int m.peak_buffer);
+            Stats.Summary.add control (float_of_int m.control_packets);
+            Stats.Summary.add compl_ m.completeness)
+          measurements;
         [
           name;
           Report.cell_f (Stats.Summary.mean occ);

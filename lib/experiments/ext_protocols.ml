@@ -157,22 +157,26 @@ let run ?(sizes = [ 25; 25 ]) ?(messages = 15) ?(spacing = 50.0) ?(loss = 0.2)
   let rows =
     List.map
       (fun (name, make) ->
+        let outcomes =
+          Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+              let topology = Topology.chain ~sizes in
+              let adapter = make ~seed ~loss:(Loss.Bernoulli loss) ~topology in
+              run_one adapter ~n ~messages ~spacing ~horizon)
+        in
         let delivered = Stats.Summary.create () in
         let completion = Stats.Summary.create () in
         let control = Stats.Summary.create () in
         let occ_mean = Stats.Summary.create () in
         let occ_max = Stats.Summary.create () in
-        for i = 0 to trials - 1 do
-          let topology = Topology.chain ~sizes in
-          let adapter = make ~seed:(seed + i) ~loss:(Loss.Bernoulli loss) ~topology in
-          let o = run_one adapter ~n ~messages ~spacing ~horizon in
-          Stats.Summary.add delivered o.delivered;
-          if Stats.Summary.count o.completion > 0 then
-            Stats.Summary.add completion (Stats.Summary.mean o.completion);
-          Stats.Summary.add control (float_of_int o.control);
-          Stats.Summary.add occ_mean o.mean_occupancy;
-          Stats.Summary.add occ_max o.max_occupancy
-        done;
+        Array.iter
+          (fun o ->
+            Stats.Summary.add delivered o.delivered;
+            if Stats.Summary.count o.completion > 0 then
+              Stats.Summary.add completion (Stats.Summary.mean o.completion);
+            Stats.Summary.add control (float_of_int o.control);
+            Stats.Summary.add occ_mean o.mean_occupancy;
+            Stats.Summary.add occ_max o.max_occupancy)
+          outcomes;
         [
           name;
           Report.cell_pct (Stats.Summary.mean delivered);

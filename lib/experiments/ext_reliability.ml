@@ -34,15 +34,18 @@ let run ?(cs = [ 1.0; 2.0; 3.0; 4.0; 6.0; 8.0 ]) ?(region = 100) ?(trials = 200)
   let rows =
     List.map
       (fun c ->
+        let outcomes =
+          Runner.par_map_trials ~trials
+            ~base_seed:(seed + (int_of_float c * 100_000))
+            (fun ~seed -> one_trial ~c ~region ~seed)
+        in
         let violations = ref 0 in
         let latency = Stats.Summary.create () in
-        for i = 0 to trials - 1 do
-          let recovered, lat, _ =
-            one_trial ~c ~region ~seed:(seed + i + (int_of_float c * 100_000))
-          in
-          if recovered then Option.iter (Stats.Summary.add latency) lat
-          else incr violations
-        done;
+        Array.iter
+          (fun (recovered, lat, _) ->
+            if recovered then Option.iter (Stats.Summary.add latency) lat
+            else incr violations)
+          outcomes;
         [
           Printf.sprintf "%.0f" c;
           Report.cell_pct (float_of_int !violations /. float_of_int trials);

@@ -33,19 +33,24 @@ let run ?(bufferer_counts = [ 6; 12; 25; 50 ]) ?(region = 100) ?(c = 6.0) ?(tria
   let rows =
     List.map
       (fun bufferers ->
+        let outcomes =
+          Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+              let outcome =
+                Baselines.Query_flood.run_once ~region ~bufferers ~backoff_window ~seed ()
+              in
+              ( outcome.Baselines.Query_flood.replies,
+                outcome.Baselines.Query_flood.first_reply_at,
+                search_cost ~region ~bufferers ~seed ))
+        in
         let replies = Stats.Summary.create () in
         let reply_latency = Stats.Summary.create () in
         let probes = Stats.Summary.create () in
-        for i = 0 to trials - 1 do
-          let outcome =
-            Baselines.Query_flood.run_once ~region ~bufferers ~backoff_window
-              ~seed:(seed + i) ()
-          in
-          Stats.Summary.add replies (float_of_int outcome.Baselines.Query_flood.replies);
-          Stats.Summary.add reply_latency outcome.Baselines.Query_flood.first_reply_at;
-          Stats.Summary.add probes
-            (float_of_int (search_cost ~region ~bufferers ~seed:(seed + i)))
-        done;
+        Array.iter
+          (fun (reply_count, first_reply_at, probe_count) ->
+            Stats.Summary.add replies (float_of_int reply_count);
+            Stats.Summary.add reply_latency first_reply_at;
+            Stats.Summary.add probes (float_of_int probe_count))
+          outcomes;
         [
           Report.cell_i bufferers;
           Report.cell_f (Stats.Summary.mean replies);

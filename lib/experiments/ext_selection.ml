@@ -67,16 +67,20 @@ let one_trial ~selection ~region ~c ~seed =
   end
 
 let summarize ~selection ~region ~c ~trials ~seed =
+  let outcomes =
+    Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+        one_trial ~selection ~region ~c ~seed)
+  in
   let time = Stats.Summary.create () in
   let probes = Stats.Summary.create () in
   let skipped = ref 0 in
-  for i = 0 to trials - 1 do
-    match one_trial ~selection ~region ~c ~seed:(seed + i) with
-    | Some (t, p) ->
-      Stats.Summary.add time t;
-      Stats.Summary.add probes (float_of_int p)
-    | None -> incr skipped
-  done;
+  Array.iter
+    (function
+      | Some (t, p) ->
+        Stats.Summary.add time t;
+        Stats.Summary.add probes (float_of_int p)
+      | None -> incr skipped)
+    outcomes;
   (time, probes, !skipped)
 
 let run ?(region = 100) ?(c = 6.0) ?(trials = 100) ?(seed = 1) () =

@@ -18,9 +18,10 @@ let control_packets ~policy ~region ~messages ~spacing ~horizon ~seed =
 
 let run ?(region_sizes = [ 20; 50; 100; 200 ]) ?(messages = 20) ?(spacing = 20.0)
     ?(horizon = 2_000.0) ?(seed = 1) () =
+  (* no inner trial loop here — the region-size sweep itself is the
+     independent unit of work, so it fans out instead *)
   let rows =
-    List.map
-      (fun region ->
+    Runner.par_map_list region_sizes (fun region ->
         let two_phase =
           control_packets ~policy:Rrmp.Config.Two_phase ~region ~messages ~spacing
             ~horizon ~seed
@@ -39,7 +40,6 @@ let run ?(region_sizes = [ 20; 50; 100; 200 ]) ?(messages = 20) ?(spacing = 20.0
           Report.cell_f (per_msg two_phase);
           Report.cell_f (per_msg stability);
         ])
-      region_sizes
   in
   Report.make ~id:"ext_traffic"
     ~title:"Control traffic: feedback-based vs stability detection (lossless stream)"

@@ -1,18 +1,31 @@
-let mc_distribution ~rng ~c ~n ~trials ~max_k =
+(* each trial owns its RNG ([base_seed + i]) so trials parallelize;
+   the count histogram is folded in trial order afterwards *)
+let mc_distribution ~base_seed ~c ~n ~trials ~max_k =
+  let per_trial =
+    Runner.par_map_trials ~trials ~base_seed (fun ~seed ->
+        let rng = Engine.Rng.create ~seed in
+        let bufferers = ref 0 in
+        for _ = 1 to n do
+          if Rrmp.Long_term.decide rng ~c ~n then incr bufferers
+        done;
+        !bufferers)
+  in
   let counts = Array.make (max_k + 1) 0 in
-  for _ = 1 to trials do
-    let bufferers = ref 0 in
-    for _ = 1 to n do
-      if Rrmp.Long_term.decide rng ~c ~n then incr bufferers
-    done;
-    if !bufferers <= max_k then counts.(!bufferers) <- counts.(!bufferers) + 1
-  done;
+  Array.iter
+    (fun bufferers ->
+      if bufferers <= max_k then counts.(bufferers) <- counts.(bufferers) + 1)
+    per_trial;
   Array.map (fun count -> float_of_int count /. float_of_int trials) counts
 
 let run ?(cs = [ 5.0; 6.0; 7.0; 8.0 ]) ?(max_k = 20) ?(region = 100) ?(mc_trials = 20_000)
     ?(seed = 1) () =
-  let rng = Engine.Rng.create ~seed in
-  let mc = List.map (fun c -> mc_distribution ~rng ~c ~n:region ~trials:mc_trials ~max_k) cs in
+  let mc =
+    List.mapi
+      (fun ci c ->
+        mc_distribution ~base_seed:(seed + (ci * mc_trials)) ~c ~n:region
+          ~trials:mc_trials ~max_k)
+      cs
+  in
   let columns =
     "k"
     :: List.concat_map

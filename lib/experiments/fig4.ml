@@ -1,38 +1,42 @@
-let mc_no_bufferer ~rng ~c ~n ~trials =
-  let zero = ref 0 in
-  for _ = 1 to trials do
-    let bufferers = ref 0 in
-    for _ = 1 to n do
-      if Rrmp.Long_term.decide rng ~c ~n then incr bufferers
-    done;
-    if !bufferers = 0 then incr zero
-  done;
-  float_of_int !zero /. float_of_int trials
+let mc_no_bufferer ~base_seed ~c ~n ~trials =
+  let zeroes =
+    Runner.par_map_trials ~trials ~base_seed (fun ~seed ->
+        let rng = Engine.Rng.create ~seed in
+        let bufferers = ref 0 in
+        for _ = 1 to n do
+          if Rrmp.Long_term.decide rng ~c ~n then incr bufferers
+        done;
+        !bufferers = 0)
+  in
+  let zero = Array.fold_left (fun acc z -> if z then acc + 1 else acc) 0 zeroes in
+  float_of_int zero /. float_of_int trials
 
 (* a full protocol run: multicast one message to a lossless region,
    let every member go idle and make its long-term choice, then count
    survivors *)
 let protocol_no_bufferer ~c ~n ~trials ~seed =
-  let zero = ref 0 in
-  for i = 0 to trials - 1 do
-    let topology = Topology.single_region ~size:n in
-    let config = { Rrmp.Config.default with Rrmp.Config.expected_bufferers = c } in
-    let group = Rrmp.Group.create ~seed:(seed + i) ~config ~topology () in
-    let id = Rrmp.Group.multicast group () in
-    Rrmp.Group.run group;
-    if Rrmp.Group.count_buffered group id = 0 then incr zero
-  done;
-  float_of_int !zero /. float_of_int trials
+  let zeroes =
+    Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+        let topology = Topology.single_region ~size:n in
+        let config = { Rrmp.Config.default with Rrmp.Config.expected_bufferers = c } in
+        let group = Rrmp.Group.create ~seed ~config ~topology () in
+        let id = Rrmp.Group.multicast group () in
+        Rrmp.Group.run group;
+        Rrmp.Group.count_buffered group id = 0)
+  in
+  let zero = Array.fold_left (fun acc z -> if z then acc + 1 else acc) 0 zeroes in
+  float_of_int zero /. float_of_int trials
 
 let run ?(cs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ]) ?(region = 100) ?(mc_trials = 100_000)
     ?(protocol_trials = 300) ?(seed = 1) () =
-  let rng = Engine.Rng.create ~seed in
   let rows =
-    List.map
-      (fun c ->
+    List.mapi
+      (fun ci c ->
         let analytic = Stats.Dist.prob_no_bufferer ~c in
         let exact = Stats.Dist.binomial_pmf ~n:region ~p:(c /. float_of_int region) 0 in
-        let coin = mc_no_bufferer ~rng ~c ~n:region ~trials:mc_trials in
+        let coin =
+          mc_no_bufferer ~base_seed:(seed + (ci * mc_trials)) ~c ~n:region ~trials:mc_trials
+        in
         let proto = protocol_no_bufferer ~c ~n:region ~trials:protocol_trials ~seed:(seed * 1000) in
         [
           Printf.sprintf "%.0f" c;

@@ -45,7 +45,7 @@ let run ?(holder_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(region = 100) ?(trials =
     List.map
       (fun holders ->
         let summary =
-          Runner.mean_over_seeds ~trials ~base_seed:(seed + (holders * 1000))
+          Runner.par_mean_over_seeds ~trials ~base_seed:(seed + (holders * 1000))
             (fun ~seed -> average_holder_buffering_time ~holders ~region ~seed)
         in
         [

@@ -24,15 +24,16 @@ let run ?(region = 100) ?(sample_every = 5.0) ?(horizon = 140.0) ?(trials = 1) ?
   in
   let received_acc = Array.make (Array.length times) 0.0 in
   let buffered_acc = Array.make (Array.length times) 0.0 in
-  for trial = 0 to trials - 1 do
-    let received, buffered = sample_run ~region ~sample_every ~horizon ~seed:(seed + trial) in
-    Array.iteri
-      (fun i (_, v) -> received_acc.(i) <- received_acc.(i) +. v)
-      (Stats.Series.sample received ~times);
-    Array.iteri
-      (fun i (_, v) -> buffered_acc.(i) <- buffered_acc.(i) +. v)
-      (Stats.Series.sample buffered ~times)
-  done;
+  let per_trial =
+    Runner.par_map_trials ~trials ~base_seed:seed (fun ~seed ->
+        let received, buffered = sample_run ~region ~sample_every ~horizon ~seed in
+        (Stats.Series.sample received ~times, Stats.Series.sample buffered ~times))
+  in
+  Array.iter
+    (fun (received, buffered) ->
+      Array.iteri (fun i (_, v) -> received_acc.(i) <- received_acc.(i) +. v) received;
+      Array.iteri (fun i (_, v) -> buffered_acc.(i) <- buffered_acc.(i) +. v) buffered)
+    per_trial;
   let rows =
     Array.to_list
       (Array.mapi

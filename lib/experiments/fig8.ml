@@ -53,7 +53,7 @@ let table ~id ~title ~points ~column ~trials ~seed ~measure ~notes =
     List.map
       (fun x ->
         let summary =
-          Runner.mean_over_seeds ~trials ~base_seed:(seed + (x * 10_000)) (fun ~seed ->
+          Runner.par_mean_over_seeds ~trials ~base_seed:(seed + (x * 10_000)) (fun ~seed ->
               measure x ~seed)
         in
         [

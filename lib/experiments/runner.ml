@@ -11,3 +11,63 @@ let collect_over_seeds ~trials ~base_seed f =
     Stats.Summary.add_many summary (f ~seed:(base_seed + i))
   done;
   summary
+
+(* ------------------------------------------------------------------ *)
+(* Parallel trial execution                                            *)
+(*                                                                     *)
+(* Each trial is already self-contained — it builds its own Sim /     *)
+(* Network / Rng from [base_seed + i] — so trials can run on any       *)
+(* domain in any order. Workers write into a trial-indexed array and   *)
+(* every aggregate below folds that array sequentially in trial order, *)
+(* which makes the output bit-identical to the sequential loops above  *)
+(* regardless of scheduling. [-j 1] / [REPRO_JOBS=1] (or a single      *)
+(* trial) bypasses the pool entirely and takes the loops above.        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs () = Engine.Pool.default_workers ()
+
+let par_map_trials ~trials ~base_seed f =
+  if trials <= 0 then [||]
+  else if jobs () <= 1 || trials = 1 then begin
+    let results = Array.make trials (f ~seed:base_seed) in
+    for i = 1 to trials - 1 do
+      results.(i) <- f ~seed:(base_seed + i)
+    done;
+    results
+  end
+  else begin
+    let results = Array.make trials None in
+    Engine.Pool.parallel_for (Engine.Pool.global ()) ~n:trials (fun i ->
+        results.(i) <- Some (f ~seed:(base_seed + i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let par_mean_over_seeds ~trials ~base_seed f =
+  if jobs () <= 1 || trials <= 1 then mean_over_seeds ~trials ~base_seed f
+  else begin
+    let results = par_map_trials ~trials ~base_seed f in
+    let summary = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add summary) results;
+    summary
+  end
+
+let par_collect_over_seeds ~trials ~base_seed f =
+  if jobs () <= 1 || trials <= 1 then collect_over_seeds ~trials ~base_seed f
+  else begin
+    let results = par_map_trials ~trials ~base_seed f in
+    let summary = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add_many summary) results;
+    summary
+  end
+
+let par_map_list items f =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | items when jobs () <= 1 -> List.map f items
+  | items ->
+    let arr = Array.of_list items in
+    let results = Array.make (Array.length arr) None in
+    Engine.Pool.parallel_for (Engine.Pool.global ()) ~n:(Array.length arr) (fun i ->
+        results.(i) <- Some (f arr.(i)));
+    Array.to_list (Array.map (function Some v -> v | None -> assert false) results)

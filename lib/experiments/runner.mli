@@ -1,4 +1,15 @@
-(** Replication helpers shared by the experiment harnesses. *)
+(** Replication helpers shared by the experiment harnesses.
+
+    The [par_*] variants run the independent seeded trials on the
+    shared {!Engine.Pool} (sized by [-j] / [REPRO_JOBS], see
+    {!Engine.Pool.default_workers}) and are the primitives every
+    [fig*] / [ext_*] module routes its trial loop through.
+    Determinism: trial [i] always runs with seed [base_seed + i] and
+    owns all of its state, workers deposit results into a
+    trial-indexed array, and aggregation folds that array sequentially
+    in trial order — so the result is bit-identical to the sequential
+    path no matter how trials were scheduled. With one worker (or one
+    trial) the sequential code path runs unchanged. *)
 
 val mean_over_seeds :
   trials:int -> base_seed:int -> (seed:int -> float) -> Stats.Summary.t
@@ -9,3 +20,25 @@ val collect_over_seeds :
   trials:int -> base_seed:int -> (seed:int -> float list) -> Stats.Summary.t
 (** Like {!mean_over_seeds} for measurements that yield several samples
     per run. *)
+
+val par_map_trials : trials:int -> base_seed:int -> (seed:int -> 'a) -> 'a array
+(** [par_map_trials ~trials ~base_seed f] is
+    [[| f ~seed:base_seed; ...; f ~seed:(base_seed + trials - 1) |]],
+    computed in parallel on the shared pool. Index [i] of the result
+    always holds trial [i]'s value. Empty when [trials <= 0]. *)
+
+val par_mean_over_seeds :
+  trials:int -> base_seed:int -> (seed:int -> float) -> Stats.Summary.t
+(** {!mean_over_seeds}, trials in parallel, summary folded in trial
+    order (bit-identical to the sequential version). *)
+
+val par_collect_over_seeds :
+  trials:int -> base_seed:int -> (seed:int -> float list) -> Stats.Summary.t
+(** {!collect_over_seeds}, trials in parallel, samples folded in trial
+    order (bit-identical to the sequential version). *)
+
+val par_map_list : 'a list -> ('a -> 'b) -> 'b list
+(** [List.map f items] with the items evaluated in parallel; the
+    output preserves input order. For experiments whose outer sweep
+    (not an inner trial loop) carries the work — each item must be
+    self-contained. *)

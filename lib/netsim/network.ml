@@ -34,6 +34,7 @@ type 'msg t = {
      (physically shared) literals, so a pointer-compared association
      list beats hashing the string on every packet *)
   mutable counter_cache : (string * mutable_counter) list;
+  mutable counter_cache_len : int; (* avoids O(len) List.length per miss *)
   mutable hook : ('msg delivery -> unit) option;
   bandwidth : 'msg bandwidth option;
   egress_free_at : float Node_id.Table.t;  (* per-src link-free time *)
@@ -54,6 +55,7 @@ let create ~sim ~topology ~latency ~loss ~rng ?bandwidth ?(batched = true) () =
     handlers = Node_id.Table.create 256;
     counters = Hashtbl.create 16;
     counter_cache = [];
+    counter_cache_len = 0;
     hook = None;
     bandwidth;
     egress_free_at = Node_id.Table.create 64;
@@ -87,7 +89,10 @@ let counter_for t cls =
         c
     in
     (* bound the memo so adversarial dynamic class names cannot grow it *)
-    if List.length t.counter_cache < 32 then t.counter_cache <- (cls, c) :: t.counter_cache;
+    if t.counter_cache_len < 32 then begin
+      t.counter_cache <- (cls, c) :: t.counter_cache;
+      t.counter_cache_len <- t.counter_cache_len + 1
+    end;
     c
 
 let delay_between t ~src ~dst =
@@ -293,7 +298,8 @@ let total_delivered t = Hashtbl.fold (fun _ c acc -> acc + c.m_delivered) t.coun
 
 let reset_stats t =
   Hashtbl.reset t.counters;
-  t.counter_cache <- []
+  t.counter_cache <- [];
+  t.counter_cache_len <- 0
 
 let set_delivery_hook t hook = t.hook <- hook
 

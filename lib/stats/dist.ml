@@ -26,16 +26,18 @@ let rec log_gamma x =
     (0.5 *. log (2.0 *. Float.pi)) +. (((x +. 0.5) *. log t) -. t) +. log !acc
   end
 
-let log_factorial_cache = lazy (
+(* built eagerly at module init: a [lazy] here could raise RacyLazy
+   when first forced from two domains of the trial pool at once *)
+let log_factorial_cache =
   let table = Array.make 256 0.0 in
   for n = 2 to 255 do
     table.(n) <- table.(n - 1) +. log (float_of_int n)
   done;
-  table)
+  table
 
 let log_factorial n =
   if n < 0 then invalid_arg "Dist.log_factorial: negative argument";
-  if n < 256 then (Lazy.force log_factorial_cache).(n)
+  if n < 256 then log_factorial_cache.(n)
   else log_gamma (float_of_int n +. 1.0)
 
 let log_choose n k = log_factorial n -. log_factorial k -. log_factorial (n - k)

@@ -34,27 +34,41 @@ let add t x =
 
 let add_many t xs = List.iter (add t) xs
 
-let merge a b =
-  if a.n = 0 then { b with samples = b.samples }
-  else if b.n = 0 then { a with samples = a.samples }
-  else begin
-    let n = a.n + b.n in
-    let delta = b.mean -. a.mean in
-    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
-    let m2 =
-      a.m2 +. b.m2
-      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
-    in
-    {
-      n;
-      mean;
-      m2;
-      minimum = Float.min a.minimum b.minimum;
-      maximum = Float.max a.maximum b.maximum;
-      total = a.total +. b.total;
-      samples = List.rev_append a.samples b.samples;
-      sorted = None;
-    }
+(* Chan et al. parallel Welford update: fold [other] into [t] in one
+   step, so per-worker partial summaries combine in O(1) per pair
+   (plus the retained-sample splice for percentiles). *)
+let merge t other =
+  if other.n > 0 then begin
+    if t.n = 0 then begin
+      t.n <- other.n;
+      t.mean <- other.mean;
+      t.m2 <- other.m2;
+      t.minimum <- other.minimum;
+      t.maximum <- other.maximum;
+      t.total <- other.total;
+      t.samples <- other.samples;
+      t.sorted <- None
+    end
+    else begin
+      let n = t.n + other.n in
+      let delta = other.mean -. t.mean in
+      let mean = t.mean +. (delta *. float_of_int other.n /. float_of_int n) in
+      let m2 =
+        t.m2 +. other.m2
+        +. (delta *. delta *. float_of_int t.n *. float_of_int other.n /. float_of_int n)
+      in
+      t.n <- n;
+      t.mean <- mean;
+      t.m2 <- m2;
+      t.minimum <- Float.min t.minimum other.minimum;
+      t.maximum <- Float.max t.maximum other.maximum;
+      t.total <- t.total +. other.total;
+      (* as if other's samples were [add]ed to [t] in their original
+         insertion order ([add] prepends, so newest-first stays
+         newest-first) *)
+      t.samples <- other.samples @ t.samples;
+      t.sorted <- None
+    end
   end
 
 let count t = t.n

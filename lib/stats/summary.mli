@@ -9,8 +9,12 @@ val add : t -> float -> unit
 
 val add_many : t -> float list -> unit
 
-val merge : t -> t -> t
-(** Combined summary of both inputs (Chan et al. parallel update). *)
+val merge : t -> t -> unit
+(** [merge t other] folds [other] into [t] in place (count / mean / M2
+    / min / max / total via the Chan et al. parallel Welford formula;
+    retained samples spliced), equivalent to replaying [other]'s adds
+    onto [t]. [other] is left unchanged; merging an empty summary is a
+    no-op. Lets per-worker partial summaries combine pairwise. *)
 
 val count : t -> int
 

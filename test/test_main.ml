@@ -13,6 +13,7 @@ let () =
          Test_policies.suites;
          Test_baselines.suites;
          Test_experiments.suites;
+         Test_parallel.suites;
          Test_properties.suites;
          Test_edge_cases.suites;
          Test_misc.suites;

@@ -1,0 +1,198 @@
+(* Tests for the domain pool and the parallel experiment runner: pool
+   mechanics (chunking, exceptions, reuse), bit-identical parallel vs
+   sequential statistics, and registry-wide report determinism. *)
+
+module Pool = Engine.Pool
+module Runner = Experiments.Runner
+module Summary = Stats.Summary
+
+(* every test that touches the process-wide -j setting restores it so
+   test order cannot leak a worker count into other suites *)
+let with_jobs jobs f =
+  let saved = Pool.default_workers () in
+  Pool.set_default_workers jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_workers saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_covers_all_indices () =
+  List.iter
+    (fun (workers, n, chunk) ->
+      let pool = Pool.create ~workers () in
+      Alcotest.(check int) "size" workers (Pool.size pool);
+      let hits = Array.make (max n 1) 0 in
+      Pool.parallel_for pool ~chunk ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i h ->
+          if i < n then
+            Alcotest.(check int) (Printf.sprintf "index %d visited once" i) 1 h)
+        hits;
+      Pool.shutdown pool)
+    [ (1, 17, 1); (2, 17, 1); (4, 17, 3); (4, 3, 1); (3, 0, 1); (2, 100, 7) ]
+
+let test_pool_reusable_across_submissions () =
+  let pool = Pool.create ~workers:3 () in
+  for round = 1 to 5 do
+    let n = round * 10 in
+    let acc = Array.make n 0 in
+    Pool.parallel_for pool ~n (fun i -> acc.(i) <- i * round);
+    let total = Array.fold_left ( + ) 0 acc in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d sum" round)
+      (round * (n * (n - 1) / 2))
+      total
+  done;
+  Pool.shutdown pool
+
+exception Trial_failed of int
+
+let test_pool_exception_propagates_and_pool_survives () =
+  let pool = Pool.create ~workers:4 () in
+  (* a raising body propagates the exception to the submitter *)
+  (try
+     Pool.parallel_for pool ~n:50 (fun i -> if i = 13 then raise (Trial_failed i));
+     Alcotest.fail "expected Trial_failed"
+   with Trial_failed 13 -> ());
+  (* ... and the pool keeps working afterwards *)
+  let acc = Array.make 20 0 in
+  Pool.parallel_for pool ~n:20 (fun i -> acc.(i) <- i + 1);
+  Alcotest.(check int) "pool still works" 210 (Array.fold_left ( + ) 0 acc);
+  (* a second failure round-trips too *)
+  (try
+     Pool.parallel_for pool ~n:8 (fun i -> if i >= 0 then raise (Trial_failed i));
+     Alcotest.fail "expected Trial_failed"
+   with Trial_failed _ -> ());
+  Pool.shutdown pool
+
+let test_pool_invalid_args () =
+  Alcotest.check_raises "workers < 1" (Invalid_argument "Pool.create: workers must be >= 1")
+    (fun () -> ignore (Pool.create ~workers:0 ()));
+  let pool = Pool.create ~workers:2 () in
+  Alcotest.check_raises "chunk < 1"
+    (Invalid_argument "Pool.parallel_for: chunk must be >= 1") (fun () ->
+      Pool.parallel_for pool ~chunk:0 ~n:4 ignore);
+  Pool.shutdown pool
+
+(* a raising trial through the runner API: exception propagates and the
+   shared global pool stays usable for the next parallel run *)
+let test_runner_exception_leaves_global_pool_reusable () =
+  with_jobs 4 (fun () ->
+      (try
+         ignore
+           (Runner.par_map_trials ~trials:12 ~base_seed:0 (fun ~seed ->
+                if seed = 7 then raise (Trial_failed seed) else seed));
+         Alcotest.fail "expected Trial_failed"
+       with Trial_failed 7 -> ());
+      let again =
+        Runner.par_map_trials ~trials:12 ~base_seed:0 (fun ~seed -> seed * 2)
+      in
+      Alcotest.(check (array int)) "global pool reusable"
+        (Array.init 12 (fun i -> i * 2))
+        again)
+
+(* ------------------------------------------------------------------ *)
+(* Runner: parallel / sequential equivalence                           *)
+(* ------------------------------------------------------------------ *)
+
+(* a measurement that is cheap but seed-sensitive in all moments *)
+let measurement ~seed =
+  let rng = Engine.Rng.create ~seed in
+  let acc = ref 0.0 in
+  for _ = 1 to 1 + (seed land 7) do
+    acc := !acc +. Engine.Rng.float rng 100.0
+  done;
+  !acc
+
+let measurement_list ~seed =
+  let rng = Engine.Rng.create ~seed in
+  List.init (seed land 3) (fun _ -> Engine.Rng.float rng 10.0)
+
+let summaries_bit_identical a b =
+  Summary.count a = Summary.count b
+  && Summary.mean a = Summary.mean b
+  && Summary.stddev a = Summary.stddev b
+  && Summary.total a = Summary.total b
+  && (Summary.count a = 0
+      || (Summary.min a = Summary.min b
+          && Summary.max a = Summary.max b
+          && Summary.median a = Summary.median b))
+
+let qcheck_par_mean_bit_identical =
+  QCheck.Test.make ~name:"par_mean_over_seeds ≡ mean_over_seeds (bit-identical)"
+    ~count:60
+    QCheck.(triple (int_bound 25) (int_bound 1000) (int_range 1 8))
+    (fun (trials, base_seed, workers) ->
+      with_jobs workers (fun () ->
+          let par = Runner.par_mean_over_seeds ~trials ~base_seed measurement in
+          let seq = Runner.mean_over_seeds ~trials ~base_seed measurement in
+          summaries_bit_identical par seq))
+
+let qcheck_par_collect_bit_identical =
+  QCheck.Test.make ~name:"par_collect_over_seeds ≡ collect_over_seeds (bit-identical)"
+    ~count:60
+    QCheck.(triple (int_bound 25) (int_bound 1000) (int_range 1 8))
+    (fun (trials, base_seed, workers) ->
+      with_jobs workers (fun () ->
+          let par = Runner.par_collect_over_seeds ~trials ~base_seed measurement_list in
+          let seq = Runner.collect_over_seeds ~trials ~base_seed measurement_list in
+          summaries_bit_identical par seq))
+
+let test_par_edge_shapes () =
+  (* trials = 0 and workers > trials *)
+  with_jobs 8 (fun () ->
+      Alcotest.(check int) "zero trials" 0
+        (Summary.count (Runner.par_mean_over_seeds ~trials:0 ~base_seed:3 measurement));
+      Alcotest.(check (array int)) "zero trials map" [||]
+        (Runner.par_map_trials ~trials:0 ~base_seed:3 (fun ~seed -> seed));
+      let s = Runner.par_mean_over_seeds ~trials:2 ~base_seed:3 measurement in
+      let r = Runner.mean_over_seeds ~trials:2 ~base_seed:3 measurement in
+      Alcotest.(check bool) "workers (8) > trials (2)" true (summaries_bit_identical s r));
+  with_jobs 3 (fun () ->
+      Alcotest.(check (list int)) "par_map_list preserves order"
+        [ 2; 4; 6; 8; 10 ]
+        (Runner.par_map_list [ 1; 2; 3; 4; 5 ] (fun x -> x * 2));
+      Alcotest.(check (list int)) "par_map_list empty" []
+        (Runner.par_map_list [] (fun x -> x * 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide report determinism                                    *)
+(* ------------------------------------------------------------------ *)
+
+let render report = Format.asprintf "%a" Experiments.Report.pp report
+
+(* Acceptance gate: for EVERY registry experiment, the quick-mode
+   report at -j 4 is byte-identical to -j 1. *)
+let test_registry_reports_deterministic () =
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let sequential = with_jobs 1 (fun () -> render (e.Experiments.Registry.run ~quick:true)) in
+      let parallel = with_jobs 4 (fun () -> render (e.Experiments.Registry.run ~quick:true)) in
+      Alcotest.(check string)
+        (e.Experiments.Registry.id ^ " report identical at -j 1 and -j 4")
+        sequential parallel)
+    Experiments.Registry.all
+
+let suites =
+  [
+    ( "engine.pool",
+      [
+        Alcotest.test_case "covers all indices" `Quick test_pool_covers_all_indices;
+        Alcotest.test_case "reusable across submissions" `Quick
+          test_pool_reusable_across_submissions;
+        Alcotest.test_case "exception propagates, pool survives" `Quick
+          test_pool_exception_propagates_and_pool_survives;
+        Alcotest.test_case "invalid arguments" `Quick test_pool_invalid_args;
+      ] );
+    ( "experiments.parallel",
+      [
+        Alcotest.test_case "raising trial leaves global pool reusable" `Quick
+          test_runner_exception_leaves_global_pool_reusable;
+        QCheck_alcotest.to_alcotest qcheck_par_mean_bit_identical;
+        QCheck_alcotest.to_alcotest qcheck_par_collect_bit_identical;
+        Alcotest.test_case "edge shapes" `Quick test_par_edge_shapes;
+        Alcotest.test_case "registry reports identical -j1 vs -j4" `Slow
+          test_registry_reports_deterministic;
+      ] );
+  ]

@@ -163,18 +163,74 @@ let test_summary_percentile_interpolation () =
   Summary.add_many s [ 10.0; 20.0 ];
   check_close "p25 interpolates" 12.5 (Summary.percentile s 25.0)
 
+let check_summary_equals_direct what direct m =
+  Alcotest.(check int) (what ^ " count") (Summary.count direct) (Summary.count m);
+  check_close ~eps:1e-9 (what ^ " mean") (Summary.mean direct) (Summary.mean m);
+  check_close ~eps:1e-9 (what ^ " variance") (Summary.variance direct) (Summary.variance m);
+  check_close ~eps:1e-9 (what ^ " total") (Summary.total direct) (Summary.total m);
+  if Summary.count direct > 0 then begin
+    check_close (what ^ " min") (Summary.min direct) (Summary.min m);
+    check_close (what ^ " max") (Summary.max direct) (Summary.max m);
+    check_close ~eps:1e-9 (what ^ " median") (Summary.median direct) (Summary.median m)
+  end
+
 let test_summary_merge () =
   let a = Summary.create () and b = Summary.create () in
   Summary.add_many a [ 1.0; 2.0; 3.0 ];
   Summary.add_many b [ 10.0; 20.0 ];
-  let m = Summary.merge a b in
+  Summary.merge a b;
   let direct = Summary.create () in
   Summary.add_many direct [ 1.0; 2.0; 3.0; 10.0; 20.0 ];
-  Alcotest.(check int) "count" (Summary.count direct) (Summary.count m);
-  check_close ~eps:1e-9 "mean" (Summary.mean direct) (Summary.mean m);
-  check_close ~eps:1e-9 "variance" (Summary.variance direct) (Summary.variance m);
-  check_close "min" (Summary.min direct) (Summary.min m);
-  check_close "max" (Summary.max direct) (Summary.max m)
+  check_summary_equals_direct "merge" direct a;
+  (* the source is left intact *)
+  Alcotest.(check int) "source count" 2 (Summary.count b);
+  check_close "source mean" 15.0 (Summary.mean b)
+
+let test_summary_merge_empty () =
+  (* empty into empty *)
+  let a = Summary.create () and b = Summary.create () in
+  Summary.merge a b;
+  check_summary_equals_direct "empty+empty" (Summary.create ()) a;
+  (* empty into non-empty: no-op *)
+  let a = Summary.create () in
+  Summary.add_many a [ 4.0; 6.0 ];
+  Summary.merge a (Summary.create ());
+  let direct = Summary.create () in
+  Summary.add_many direct [ 4.0; 6.0 ];
+  check_summary_equals_direct "nonempty+empty" direct a;
+  (* non-empty into empty: adopts the source's stats *)
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add_many b [ 4.0; 6.0 ];
+  Summary.merge a b;
+  check_summary_equals_direct "empty+nonempty" direct a
+
+let test_summary_merge_single () =
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add a 2.0;
+  Summary.add b 7.0;
+  Summary.merge a b;
+  let direct = Summary.create () in
+  Summary.add_many direct [ 2.0; 7.0 ];
+  check_summary_equals_direct "single+single" direct a
+
+let qcheck_summary_merge_matches_sequential =
+  QCheck.Test.make ~name:"merge equals sequential add stream" ~count:300
+    QCheck.(pair (list (float_bound_inclusive 1000.0)) (list (float_bound_inclusive 1000.0)))
+    (fun (xs, ys) ->
+      let a = Summary.create () and b = Summary.create () in
+      Summary.add_many a xs;
+      Summary.add_many b ys;
+      Summary.merge a b;
+      let direct = Summary.create () in
+      Summary.add_many direct (xs @ ys);
+      Summary.count a = Summary.count direct
+      && abs_float (Summary.mean a -. Summary.mean direct) < 1e-6
+      && abs_float (Summary.variance a -. Summary.variance direct) < 1e-4
+      && abs_float (Summary.total a -. Summary.total direct) < 1e-6
+      && (Summary.count direct = 0
+          || (Summary.min a = Summary.min direct
+              && Summary.max a = Summary.max direct
+              && abs_float (Summary.median a -. Summary.median direct) < 1e-9)))
 
 let test_summary_ci () =
   let s = Summary.create () in
@@ -317,8 +373,11 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
         Alcotest.test_case "percentile interpolation" `Quick test_summary_percentile_interpolation;
         Alcotest.test_case "merge" `Quick test_summary_merge;
+        Alcotest.test_case "merge with empty" `Quick test_summary_merge_empty;
+        Alcotest.test_case "merge single elements" `Quick test_summary_merge_single;
         Alcotest.test_case "confidence interval" `Quick test_summary_ci;
         QCheck_alcotest.to_alcotest qcheck_summary_matches_direct;
+        QCheck_alcotest.to_alcotest qcheck_summary_merge_matches_sequential;
       ] );
     ( "stats.hist",
       [
