@@ -473,6 +473,165 @@ let parallel_result_json { p_name; seq_wall_s; par_wall_s; p_jobs; speedup } =
       ("speedup", Tracing.Json.Float speedup);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Protocol-state suite: before/after numbers for the per-member       *)
+(* hot-path data structures (BENCH_state.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each entry reports ns/op and minor-heap words/op. "Before" entries
+   run the retained reference implementations (Gap_oracle, list-walking
+   digest_has); "after" entries run the production structures and carry
+   a [speedup_vs_oracle] column against their paired reference. *)
+
+type state_result = {
+  st_name : string;
+  st_ns_per_op : float;
+  st_minor_words_per_op : float;
+  st_ops : int;
+  st_runs : int;
+  st_speedup : float option;
+}
+
+(* wall-clock + Gc.minor_words delta over [runs] repetitions, after one
+   untimed warm-up run (first-call allocation of tables, etc.) *)
+let measure_state ~runs ~ops st_name f =
+  ignore (Sys.opaque_identity (f ()));
+  let keep = ref 0 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    keep := !keep + f ()
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  ignore (Sys.opaque_identity !keep);
+  let total = float_of_int (runs * ops) in
+  {
+    st_name;
+    st_ns_per_op = wall_s *. 1e9 /. total;
+    st_minor_words_per_op = words /. total;
+    st_ops = ops;
+    st_runs = runs;
+    st_speedup = None;
+  }
+
+let with_speedup ~vs r =
+  { r with st_speedup = Some (vs.st_ns_per_op /. Float.max r.st_ns_per_op 1e-9) }
+
+module type GAP = sig
+  type t
+
+  val create : unit -> t
+  val note_data : t -> int -> [ `Fresh of int list | `Duplicate ]
+  val note_repaired : t -> int -> unit
+  val received : t -> int -> bool
+  val missing_count : t -> int
+  val received_count : t -> int
+end
+
+(* long-session soak: [n] sequence numbers with every 100th dropped,
+   batched repairs every 1000, a [received] probe per packet and
+   counter samples every 100 — the shape of a member that stays
+   subscribed for a long session *)
+let gap_soak (type a) (module G : GAP with type t = a) ~n () =
+  let g = G.create () in
+  let acc = ref 0 in
+  for seq = 0 to n - 1 do
+    if seq mod 100 <> 99 then begin
+      (match G.note_data g seq with
+       | `Fresh gaps -> acc := !acc + List.length gaps
+       | `Duplicate -> ());
+      if G.received g (seq / 2) then incr acc;
+      if seq mod 100 = 50 then acc := !acc + G.missing_count g + G.received_count g
+    end;
+    if seq mod 1000 = 999 then
+      (* the repair batch for the block that just ended *)
+      for k = 0 to 9 do
+        G.note_repaired g (seq - 900 + (k * 100))
+      done
+  done;
+  !acc
+
+(* a History digest shaped like the stability baseline's: many sources,
+   each with a long horizon and a sprinkling of missing seqs *)
+let storm_digest ~sources ~horizon : Protocol.Recv_log.digest =
+  List.init sources (fun s ->
+      let missing = List.filter (fun i -> i mod 7 = 3) (List.init horizon Fun.id) in
+      (Node_id.of_int s, (horizon, missing)))
+
+let storm_probes ~sources ~horizon ~count =
+  Array.init count (fun i ->
+      Protocol.Msg_id.make
+        ~source:(Node_id.of_int (i mod sources))
+        ~seq:((i * 37) mod (horizon + 20)))
+
+let run_state ~smoke () =
+  let n = if smoke then 5_000 else 100_000 in
+  let soak_runs = if smoke then 1 else 3 in
+  let soak name m = measure_state ~runs:soak_runs ~ops:n name (gap_soak m ~n) in
+  let soak_before = soak "state/gap-soak set-oracle (before)" (module Protocol.Gap_oracle) in
+  let soak_after =
+    with_speedup ~vs:soak_before
+      (soak "state/gap-soak windowed (after)" (module Protocol.Gap_detect))
+  in
+  let sources = 16 and horizon = 400 in
+  let digest = storm_digest ~sources ~horizon in
+  let probes = storm_probes ~sources ~horizon ~count:1024 in
+  let dig_runs = if smoke then 5 else 200 in
+  let count_has has = Array.fold_left (fun c id -> if has id then c + 1 else c) 0 probes in
+  let dig name f = measure_state ~runs:dig_runs ~ops:(Array.length probes) name f in
+  let dig_before =
+    dig "state/digest-storm list-walk (before)" (fun () ->
+        count_has (Protocol.Recv_log.digest_has digest))
+  in
+  let dig_after =
+    (* index built once per run — the handle_history amortization *)
+    with_speedup ~vs:dig_before
+      (dig "state/digest-storm indexed (after)" (fun () ->
+           let idx = Protocol.Recv_log.index digest in
+           count_has (Protocol.Recv_log.indexed_has idx)))
+  in
+  (* fig8/fig9 wall clock at the same reduced parameterization as the
+     protocol-suite Bechamel entries, so the two files are comparable *)
+  let fig_trials = if smoke then 1 else 3 in
+  let fig8 =
+    measure_state ~runs:1 ~ops:1 "state/fig8 reduced wall" (fun () ->
+        ignore (Sys.opaque_identity (Experiments.Fig8.run ~trials:fig_trials ()));
+        0)
+  in
+  let fig9 =
+    measure_state ~runs:1 ~ops:1 "state/fig9 reduced wall" (fun () ->
+        ignore
+          (Sys.opaque_identity
+             (Experiments.Fig9.run ~trials:(if smoke then 1 else 2)
+                ~region_sizes:[ 100; 400; 1000 ] ()));
+        0)
+  in
+  let results = [ soak_before; soak_after; dig_before; dig_after; fig8; fig9 ] in
+  List.iter
+    (fun r ->
+      Format.printf "  %-42s %12.1f ns/op %10.2f words/op%s@." r.st_name r.st_ns_per_op
+        r.st_minor_words_per_op
+        (match r.st_speedup with
+         | Some s -> Format.asprintf "  %5.2fx vs before" s
+         | None -> ""))
+    results;
+  results
+
+let state_result_json r =
+  Tracing.Json.Obj
+    ([
+       ("name", Tracing.Json.String r.st_name);
+       ("ns_per_op", Tracing.Json.Float r.st_ns_per_op);
+       ("minor_words_per_op", Tracing.Json.Float r.st_minor_words_per_op);
+       ("ops_per_run", Tracing.Json.Int r.st_ops);
+       ("runs", Tracing.Json.Int r.st_runs);
+     ]
+    @
+    match r.st_speedup with
+    | Some s -> [ ("speedup_vs_oracle", Tracing.Json.Float s) ]
+    | None -> [])
+
 (* --det-check: the CI guard behind the bench-smoke alias — one
    experiment at -j 1 vs -j 4, byte-compared *)
 let det_check () =
@@ -507,6 +666,10 @@ let bench ~smoke ~jobs () =
   Format.printf "---------------------------------------------------------------------@.";
   let macros = run_macros ~smoke () in
   Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Protocol-state data structures (before/after)@.";
+  Format.printf "---------------------------------------------------------------------@.";
+  let states = run_state ~smoke () in
+  Format.printf "---------------------------------------------------------------------@.";
   Format.printf " Parallel experiment runner (deterministic; -j %d)@." jobs;
   Format.printf "---------------------------------------------------------------------@.";
   let parallels = run_parallel ~smoke ~jobs () in
@@ -515,11 +678,14 @@ let bench ~smoke ~jobs () =
   write_json "BENCH_protocol.json"
     (suite_json ~suite:"protocol" ~smoke
        (List.rev_map bench_result_json micro @ List.map macro_result_json macros));
+  write_json "BENCH_state.json"
+    (suite_json ~suite:"protocol-state" ~smoke (List.map state_result_json states));
   write_json "BENCH_parallel.json"
     (suite_json ~suite:"parallel" ~smoke (List.map parallel_result_json parallels));
   if smoke then begin
     validate_json "BENCH_engine.json";
     validate_json "BENCH_protocol.json";
+    validate_json "BENCH_state.json";
     validate_json "BENCH_parallel.json"
   end
 

@@ -1,57 +1,150 @@
-module Int_set = Set.Make (Int)
+(* Watermark + bitset-window loss detector.
+
+   The state is a contiguous-delivery watermark [base] (every seq in
+   [0, base) has been received) plus a byte-packed bitset recording
+   receipt of the out-of-order seqs at and above the watermark. The
+   bitset covers the absolute range [origin, origin + 8*|bits|);
+   [origin] trails [base] and the window slides forward (in-place blit
+   when possible) as the watermark advances, so the footprint is
+   O(reorder window), not O(session length). All counters (missing,
+   received) are maintained incrementally, making [note_data],
+   [received], [received_count] and [missing_count] allocation-free
+   and O(1) amortized. *)
 
 type t = {
-  mutable have : Int_set.t;  (* received sequence numbers *)
-  mutable missing : Int_set.t;  (* detected losses not yet repaired *)
+  mutable base : int;  (* every seq in [0, base) has been received *)
+  mutable origin : int;  (* absolute seq of bit 0; origin <= base, 8-aligned *)
+  mutable bits : Bytes.t;  (* receipt flags for seqs >= base *)
   mutable horizon : int;  (* all seqs <= horizon are known to exist; -1 initially *)
+  mutable received_above : int;  (* set bits at positions >= base *)
+  mutable missing_cnt : int;  (* detected losses not yet repaired *)
 }
 
-let create () = { have = Int_set.empty; missing = Int_set.empty; horizon = -1 }
+let initial_bytes = 64 (* a 512-seq window before the first resize *)
 
-(* every seq in (old horizon, new_horizon] that we don't have becomes a
-   newly detected loss *)
-let extend_horizon t new_horizon =
-  if new_horizon <= t.horizon then []
-  else begin
-    let fresh = ref [] in
-    for seq = t.horizon + 1 to new_horizon do
-      if not (Int_set.mem seq t.have) then fresh := seq :: !fresh
-    done;
-    t.horizon <- new_horizon;
-    let fresh = List.rev !fresh in
-    t.missing <- List.fold_left (fun acc s -> Int_set.add s acc) t.missing fresh;
-    fresh
+let create () =
+  {
+    base = 0;
+    origin = 0;
+    bits = Bytes.make initial_bytes '\000';
+    horizon = -1;
+    received_above = 0;
+    missing_cnt = 0;
+  }
+
+let capacity t = 8 * Bytes.length t.bits
+
+let received t seq =
+  if seq < t.base then seq >= 0
+  else
+    let i = seq - t.origin in
+    i < capacity t
+    && Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* make the window cover [seq]: slide its start up to the watermark's
+   byte, reusing the buffer in place when the span still fits and
+   doubling it otherwise *)
+let ensure t seq =
+  if seq - t.origin >= capacity t then begin
+    let new_origin = t.base land lnot 7 in
+    let len = Bytes.length t.bits in
+    let keep_from = (new_origin - t.origin) lsr 3 in
+    let keep_len = len - keep_from in
+    let needed =
+      let n = ref len in
+      while (8 * !n) - (seq - new_origin) <= 0 do
+        n := 2 * !n
+      done;
+      !n
+    in
+    if needed = len then begin
+      Bytes.blit t.bits keep_from t.bits 0 keep_len;
+      Bytes.fill t.bits keep_len (len - keep_len) '\000'
+    end
+    else begin
+      let fresh = Bytes.make needed '\000' in
+      if keep_len > 0 then Bytes.blit t.bits keep_from fresh 0 keep_len;
+      t.bits <- fresh
+    end;
+    t.origin <- new_origin
   end
+
+(* slide the watermark over the received prefix; every bit it passes
+   was counted in [received_above] when set *)
+let advance_base t =
+  let continue = ref true in
+  while !continue do
+    let i = t.base - t.origin in
+    if
+      i < capacity t
+      && Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then begin
+      t.base <- t.base + 1;
+      t.received_above <- t.received_above - 1
+    end
+    else continue := false
+  done
+
+(* record receipt of a seq >= base that is not yet received *)
+let mark t seq =
+  ensure t seq;
+  let i = seq - t.origin in
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))));
+  t.received_above <- t.received_above + 1;
+  if seq = t.base then advance_base t
+
+(* unreceived seqs in (horizon, upto], ascending; they become detected
+   losses *)
+let fresh_gaps t ~upto =
+  let fresh = ref [] in
+  for s = upto downto t.horizon + 1 do
+    if not (received t s) then begin
+      fresh := s :: !fresh;
+      t.missing_cnt <- t.missing_cnt + 1
+    end
+  done;
+  !fresh
 
 let note_data t seq =
   if seq < 0 then invalid_arg "Gap_detect.note_data: negative seq";
-  if Int_set.mem seq t.have then `Duplicate
+  if received t seq then `Duplicate
   else begin
-    t.have <- Int_set.add seq t.have;
-    t.missing <- Int_set.remove seq t.missing;
+    if seq <= t.horizon then t.missing_cnt <- t.missing_cnt - 1;
     (* a data packet proves every lower seq exists, but not itself lost *)
-    let gaps = extend_horizon t seq |> List.filter (fun s -> s <> seq) in
+    let gaps = fresh_gaps t ~upto:(seq - 1) in
+    if seq > t.horizon then t.horizon <- seq;
+    mark t seq;
     `Fresh gaps
   end
 
 let note_session t ~max_seq =
   if max_seq < 0 then invalid_arg "Gap_detect.note_session: negative seq";
-  extend_horizon t max_seq
-
-let note_repaired t seq =
-  if not (Int_set.mem seq t.have) then begin
-    t.have <- Int_set.add seq t.have;
-    t.missing <- Int_set.remove seq t.missing
+  if max_seq <= t.horizon then []
+  else begin
+    let gaps = fresh_gaps t ~upto:max_seq in
+    t.horizon <- max_seq;
+    gaps
   end
 
-let received t seq = Int_set.mem seq t.have
+let note_repaired t seq =
+  if seq >= 0 && not (received t seq) then begin
+    if seq <= t.horizon then t.missing_cnt <- t.missing_cnt - 1;
+    mark t seq
+  end
 
-let missing t = Int_set.elements t.missing
+let missing t =
+  let acc = ref [] in
+  for s = t.horizon downto t.base do
+    if not (received t s) then acc := s :: !acc
+  done;
+  !acc
 
-let missing_count t = Int_set.cardinal t.missing
+let missing_count t = t.missing_cnt
 
 let highest_seen t = if t.horizon < 0 then None else Some t.horizon
 
-let received_count t = Int_set.cardinal t.have
+let received_count t = t.base + t.received_above
 
-let digest t = (t.horizon, Int_set.elements t.missing)
+let digest t = (t.horizon, missing t)

@@ -8,7 +8,15 @@
     The detector tracks which sequence numbers have been received and
     reports each missing sequence number exactly once, at the moment it
     becomes detectable (a higher sequence number arrives, or a session
-    message advertises a higher maximum). *)
+    message advertises a higher maximum).
+
+    Internally the state is a contiguous-delivery watermark plus a
+    sliding bitset window over the out-of-order span, with maintained
+    counters: [note_data], [received], [received_count] and
+    [missing_count] are O(1) amortized and allocation-free, and the
+    per-source footprint is O(reorder window) rather than O(session
+    length). {!Gap_oracle} is the original set-based implementation,
+    kept as the reference model for the qcheck equivalence suites. *)
 
 type t
 

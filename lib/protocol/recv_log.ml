@@ -68,3 +68,44 @@ let digest_has digest id =
   | Some (horizon, missing) ->
     let seq = Msg_id.seq id in
     seq <= horizon && not (List.mem seq missing)
+
+(* indexed digest: per-source (horizon, sorted missing array), sorted
+   by source, so membership probes are two binary searches *)
+type indexed = (Node_id.t * int * int array) array
+
+let index digest =
+  let arr =
+    Array.of_list
+      (List.map
+         (fun (source, (horizon, missing)) -> (source, horizon, Array.of_list missing))
+         digest)
+  in
+  (* wire digests are already source-sorted with ascending missing
+     lists; sort defensively so the index never depends on that *)
+  Array.sort (fun (a, _, _) (b, _, _) -> Node_id.compare a b) arr;
+  Array.iter (fun (_, _, m) -> Array.sort Int.compare m) arr;
+  arr
+
+let mem_sorted (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get a mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && Array.unsafe_get a !lo = x
+
+let indexed_has (idx : indexed) id =
+  let source = Msg_id.source id in
+  let lo = ref 0 and hi = ref (Array.length idx) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let src, _, _ = Array.unsafe_get idx mid in
+    if Node_id.compare src source < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length idx
+  &&
+  let src, horizon, missing = Array.unsafe_get idx !lo in
+  Node_id.equal src source
+  &&
+  let seq = Msg_id.seq id in
+  seq <= horizon && not (mem_sorted missing seq)

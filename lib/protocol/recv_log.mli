@@ -38,4 +38,19 @@ val digest : t -> digest
 (** Sorted by source. *)
 
 val digest_has : digest -> Msg_id.t -> bool
-(** Whether the digest's owner has received the given message. *)
+(** Whether the digest's owner has received the given message.
+    O(sources + missing) per probe — the reference implementation;
+    probe-heavy paths should build an {!indexed} form instead. *)
+
+type indexed
+(** A digest compiled for repeated membership probes: sorted arrays
+    per source, answering each probe with two binary searches. *)
+
+val index : digest -> indexed
+(** Build once per received digest (e.g. per History message); each
+    subsequent {!indexed_has} probe is O(log sources + log missing)
+    and allocation-free. *)
+
+val indexed_has : indexed -> Msg_id.t -> bool
+(** Same answer as {!digest_has} on the digest the index was built
+    from. *)

@@ -6,6 +6,7 @@ type t = {
   sim : Engine.Sim.t;
   entries : entry Protocol.Msg_id.Table.t;
   mutable bytes : int;
+  mutable long_count : int;  (* entries currently in Long_term phase *)
   mutable last_change : float;
   mutable msg_ms : float;
   mutable byte_ms : float;
@@ -18,6 +19,7 @@ let create ~sim =
     sim;
     entries = Protocol.Msg_id.Table.create 64;
     bytes = 0;
+    long_count = 0;
     last_change = Engine.Sim.now sim;
     msg_ms = 0.0;
     byte_ms = 0.0;
@@ -44,6 +46,7 @@ let insert t ~phase payload =
     settle t;
     Protocol.Msg_id.Table.add t.entries id
       { payload; phase; stored_at = Engine.Sim.now t.sim };
+    if phase = Long_term then t.long_count <- t.long_count + 1;
     t.bytes <- t.bytes + Payload.size payload;
     if size t > t.peak_size then t.peak_size <- size t;
     if t.bytes > t.peak_bytes then t.peak_bytes <- t.bytes;
@@ -60,8 +63,13 @@ let phase_of t id =
 
 let promote t id =
   match Protocol.Msg_id.Table.find_opt t.entries id with
-  | None -> invalid_arg "Buffer.promote: message not buffered"
-  | Some e -> e.phase <- Long_term
+  | None -> false  (* promotion raced a discard: no-op *)
+  | Some e ->
+    if e.phase = Short_term then begin
+      e.phase <- Long_term;
+      t.long_count <- t.long_count + 1
+    end;
+    true
 
 let remove t id =
   match Protocol.Msg_id.Table.find_opt t.entries id with
@@ -69,6 +77,7 @@ let remove t id =
   | Some e ->
     settle t;
     Protocol.Msg_id.Table.remove t.entries id;
+    if e.phase = Long_term then t.long_count <- t.long_count - 1;
     t.bytes <- t.bytes - Payload.size e.payload;
     Some e.payload
 
@@ -78,17 +87,22 @@ let stored_at t id =
 let bytes t = t.bytes
 
 let count_phase t phase =
-  Protocol.Msg_id.Table.fold
-    (fun _ e acc -> if e.phase = phase then acc + 1 else acc)
-    t.entries 0
+  match phase with
+  | Long_term -> t.long_count
+  | Short_term -> size t - t.long_count
+
+let iter t f = Protocol.Msg_id.Table.iter (fun _ e -> f e.payload e.phase) t.entries
+
+let fold t ~init f =
+  Protocol.Msg_id.Table.fold (fun _ e acc -> f acc e.payload e.phase) t.entries init
 
 let contents t =
-  Protocol.Msg_id.Table.fold (fun _ e acc -> (e.payload, e.phase) :: acc) t.entries []
+  fold t ~init:[] (fun acc p phase -> (p, phase) :: acc)
   |> List.sort (fun (a, _) (b, _) -> Protocol.Msg_id.compare (Payload.id a) (Payload.id b))
 
 let long_term_payloads t =
-  contents t
-  |> List.filter_map (fun (p, phase) -> if phase = Long_term then Some p else None)
+  fold t ~init:[] (fun acc p phase -> if phase = Long_term then p :: acc else acc)
+  |> List.sort (fun a b -> Protocol.Msg_id.compare (Payload.id a) (Payload.id b))
 
 let occupancy_msg_ms t =
   settle t;

@@ -22,8 +22,11 @@ val mem : t -> Protocol.Msg_id.t -> bool
 
 val phase_of : t -> Protocol.Msg_id.t -> phase option
 
-val promote : t -> Protocol.Msg_id.t -> unit
-(** Move an entry to [Long_term]. @raise Invalid_argument if absent. *)
+val promote : t -> Protocol.Msg_id.t -> bool
+(** Move an entry to [Long_term]; already-long-term entries are left
+    alone. [false] (and no change) if the entry is absent — a
+    promotion can race a discard (e.g. a handoff arriving after the
+    idle timer fired), which must not be fatal. *)
 
 val remove : t -> Protocol.Msg_id.t -> Payload.t option
 (** Discard an entry; [None] if it was not buffered. *)
@@ -37,9 +40,18 @@ val size : t -> int
 val bytes : t -> int
 
 val count_phase : t -> phase -> int
+(** O(1): phase counts are maintained on insert/promote/remove. *)
+
+val iter : t -> (Payload.t -> phase -> unit) -> unit
+(** Visit every entry, in unspecified order, without materializing a
+    list. Callers must not depend on the order. *)
+
+val fold : t -> init:'a -> ('a -> Payload.t -> phase -> 'a) -> 'a
+(** Fold over every entry, in unspecified order. *)
 
 val contents : t -> (Payload.t * phase) list
-(** Sorted by message id. *)
+(** Sorted by message id. Materializes and sorts the whole buffer —
+    use {!iter}/{!fold} on hot paths. *)
 
 val long_term_payloads : t -> Payload.t list
 (** What a leaving member must hand off, sorted by id. *)

@@ -5,6 +5,7 @@ type t =
   | Buffered of { id : Protocol.Msg_id.t; phase : Buffer.phase }
   | Became_idle of { id : Protocol.Msg_id.t; buffered_for : float }
   | Promoted_long_term of Protocol.Msg_id.t
+  | Promotion_skipped of Protocol.Msg_id.t
   | Discarded of { id : Protocol.Msg_id.t; phase : Buffer.phase; buffered_for : float }
   | Search_started of Protocol.Msg_id.t
   | Search_satisfied of { id : Protocol.Msg_id.t; origin : Node_id.t }
@@ -21,6 +22,7 @@ let constructor = function
   | Buffered _ -> "buffered"
   | Became_idle _ -> "became-idle"
   | Promoted_long_term _ -> "promoted-long-term"
+  | Promotion_skipped _ -> "promotion-skipped"
   | Discarded _ -> "discarded"
   | Search_started _ -> "search-started"
   | Search_satisfied _ -> "search-satisfied"
@@ -45,6 +47,9 @@ let describe = function
     Printf.sprintf "idle %s after %.1fms" (Protocol.Msg_id.to_string id) buffered_for
   | Promoted_long_term id ->
     Printf.sprintf "long-term bufferer for %s" (Protocol.Msg_id.to_string id)
+  | Promotion_skipped id ->
+    Printf.sprintf "promotion of %s skipped (already discarded)"
+      (Protocol.Msg_id.to_string id)
   | Discarded { id; phase; buffered_for } ->
     Printf.sprintf "discarded %s (%s) after %.1fms" (Protocol.Msg_id.to_string id)
       (phase_name phase) buffered_for

@@ -14,6 +14,9 @@ type t =
       (** the idle threshold elapsed; [buffered_for] is the short-term
           buffering time Figure 6 reports *)
   | Promoted_long_term of Protocol.Msg_id.t
+  | Promotion_skipped of Protocol.Msg_id.t
+      (** a long-term promotion (idle decision or handoff) found the
+          entry already discarded and was skipped *)
   | Discarded of { id : Protocol.Msg_id.t; phase : Buffer.phase; buffered_for : float }
   | Search_started of Protocol.Msg_id.t
       (** this member initiated a search (request arrived for a

@@ -6,6 +6,33 @@ module Sim = Engine.Sim
 module Rng = Engine.Rng
 module Timer = Engine.Timer
 
+(* An insertion-ordered node set: the waiting/search origin lists are
+   appended to on every probe and consulted on every repair, so dedup
+   must not rescan the list. Iteration order (newest first) matches
+   the plain-list behavior it replaces. *)
+module Origins = struct
+  type t = { mutable items : Node_id.t list; seen : unit Node_id.Table.t }
+
+  let create () = { items = []; seen = Node_id.Table.create 4 }
+
+  let is_empty t = t.items = []
+
+  (* [true] if the node was new *)
+  let add t node =
+    if Node_id.Table.mem t.seen node then false
+    else begin
+      Node_id.Table.add t.seen node ();
+      t.items <- node :: t.items;
+      true
+    end
+
+  let iter t f = List.iter f t.items
+
+  let clear t =
+    t.items <- [];
+    Node_id.Table.reset t.seen
+end
+
 type recovery = {
   detected_at : float;
   mutable local_timer : Sim.handle option;
@@ -17,7 +44,7 @@ type recovery = {
 
 type search = {
   mutable search_timer : Sim.handle option;
-  mutable origins : Node_id.t list;  (* downstream receivers awaiting the repair *)
+  origins : Origins.t;  (* downstream receivers awaiting the repair *)
   mutable search_tries : int;
 }
 
@@ -34,7 +61,7 @@ type t = {
   recoveries : recovery Msg_id.Table.t;
   idle_timers : Timer.Idle.t Msg_id.Table.t;  (* short-term feedback timers *)
   lifetime_timers : Timer.Idle.t Msg_id.Table.t;  (* long-term eventual discard *)
-  pending_remote : Node_id.t list ref Msg_id.Table.t;
+  pending_remote : Origins.t Msg_id.Table.t;
       (* origins recorded while we miss the message ourselves *)
   searches : search Msg_id.Table.t;
   have_announced : unit Msg_id.Table.t;
@@ -43,7 +70,8 @@ type t = {
   pending_regional : Sim.handle Msg_id.Table.t;  (* backoff-delayed regional sends *)
   fixed_timers : Sim.handle Msg_id.Table.t;  (* Fixed_time policy discards *)
   stable_timers : Sim.handle Msg_id.Table.t;  (* Stability policy discards *)
-  peer_digests : Recv_log.digest Node_id.Table.t;  (* Stability: last history per peer *)
+  peer_digests : Recv_log.indexed Node_id.Table.t;
+      (* Stability: last history per peer, indexed for O(log) probes *)
   mutable history_ticker : Timer.Periodic.t option;
   mutable next_seq : int;
   mutable delivered : int;
@@ -160,17 +188,19 @@ let become_idle t id =
     | Config.Hashed -> Long_term.hashed_decide ~node:t.node ~id ~c ~n
   in
   if keeps then begin
-    Buffer.promote t.buffer id;
-    emit t (Events.Promoted_long_term id);
-    match t.config.Config.long_term_lifetime with
-    | None -> ()
-    | Some lifetime ->
-      let timer =
-        Timer.Idle.create t.sim ~timeout:lifetime ~on_idle:(fun () ->
-            Msg_id.Table.remove t.lifetime_timers id;
-            discard t id ~phase:Buffer.Long_term)
-      in
-      Msg_id.Table.replace t.lifetime_timers id timer
+    if Buffer.promote t.buffer id then begin
+      emit t (Events.Promoted_long_term id);
+      match t.config.Config.long_term_lifetime with
+      | None -> ()
+      | Some lifetime ->
+        let timer =
+          Timer.Idle.create t.sim ~timeout:lifetime ~on_idle:(fun () ->
+              Msg_id.Table.remove t.lifetime_timers id;
+              discard t id ~phase:Buffer.Long_term)
+        in
+        Msg_id.Table.replace t.lifetime_timers id timer
+    end
+    else emit t (Events.Promotion_skipped id)
   end
   else discard t id ~phase:Buffer.Short_term
 
@@ -191,7 +221,7 @@ let check_stability t id =
       let peer_has node =
         match Node_id.Table.find_opt t.peer_digests node with
         | None -> false
-        | Some digest -> Recv_log.digest_has digest id
+        | Some digest -> Recv_log.indexed_has digest id
       in
       if Array.for_all peer_has (View.local_members t.view) then begin
         let handle =
@@ -312,16 +342,16 @@ let cancel_search t id =
    message; retries probe uniformly at random (and forget a known
    bufferer that failed to answer). *)
 let rec search_round t id s =
-  if s.origins <> [] then
+  if not (Origins.is_empty s.origins) then
     if Array.length (View.local_members t.view) = 0 then begin
       (* nobody to search: the origins' own retries must find another
          way in *)
-      s.origins <- [];
+      Origins.clear s.origins;
       s.search_timer <- None;
       Msg_id.Table.remove t.searches id
     end
     else if tries_exhausted t s.search_tries then begin
-      s.origins <- [];
+      Origins.clear s.origins;
       s.search_timer <- None;
       Msg_id.Table.remove t.searches id
     end
@@ -351,7 +381,7 @@ let rec search_round t id s =
        | None -> ()
        | Some q ->
          s.search_tries <- s.search_tries + 1;
-         List.iter (fun origin -> send t ~dst:q (Wire.Search { id; origin })) s.origins);
+         Origins.iter s.origins (fun origin -> send t ~dst:q (Wire.Search { id; origin })));
       s.search_timer <-
         Some (Sim.schedule t.sim ~delay:(local_timeout t) (fun () -> search_round t id s))
     end
@@ -359,8 +389,7 @@ let rec search_round t id s =
 let start_search t id ~origin =
   match Msg_id.Table.find_opt t.searches id with
   | Some s ->
-    if not (List.exists (Node_id.equal origin) s.origins) then begin
-      s.origins <- origin :: s.origins;
+    if Origins.add s.origins origin then begin
       (* probe immediately for the newcomer; the shared timer keeps
          retrying for everyone *)
       match View.random_local t.view t.rng with
@@ -369,7 +398,8 @@ let start_search t id ~origin =
     end
   | None ->
     emit t (Events.Search_started id);
-    let s = { search_timer = None; origins = [ origin ]; search_tries = 0 } in
+    let s = { search_timer = None; origins = Origins.create (); search_tries = 0 } in
+    ignore (Origins.add s.origins origin);
     Msg_id.Table.add t.searches id s;
     search_round t id s
 
@@ -404,14 +434,14 @@ let relay_to_waiters t payload =
   (match Msg_id.Table.find_opt t.pending_remote id with
    | None -> ()
    | Some waiting ->
-     List.iter (fun origin -> send t ~dst:origin (Wire.Repair payload)) !waiting;
+     Origins.iter waiting (fun origin -> send t ~dst:origin (Wire.Repair payload));
      Msg_id.Table.remove t.pending_remote id);
   (* origins of a search we were running: we can serve them directly *)
   match Msg_id.Table.find_opt t.searches id with
   | None -> ()
   | Some s ->
-    List.iter (fun origin -> send t ~dst:origin (Wire.Repair payload)) s.origins;
-    s.origins <- [];
+    Origins.iter s.origins (fun origin -> send t ~dst:origin (Wire.Repair payload));
+    Origins.clear s.origins;
     cancel_search t id
 
 let schedule_regional_repair t payload =
@@ -489,11 +519,11 @@ let record_pending_remote t id origin =
     match Msg_id.Table.find_opt t.pending_remote id with
     | Some w -> w
     | None ->
-      let w = ref [] in
+      let w = Origins.create () in
       Msg_id.Table.add t.pending_remote id w;
       w
   in
-  if not (List.exists (Node_id.equal origin) !waiting) then waiting := origin :: !waiting
+  ignore (Origins.add waiting origin)
 
 (* Section 3.3: the three cases for a remote (or forwarded-search)
    request *)
@@ -542,13 +572,16 @@ let handle_have t id ~src =
   | Some s ->
     (* the announcer buffers the message: point the remaining origins'
        probes straight at it *)
-    List.iter (fun origin -> send t ~dst:src (Wire.Search { id; origin })) s.origins;
-    s.origins <- [];
+    Origins.iter s.origins (fun origin -> send t ~dst:src (Wire.Search { id; origin }));
+    Origins.clear s.origins;
     cancel_search t id
 
+(* index the digest once (every buffered id probes it), then revisit
+   each buffered entry; stability of one entry is independent of the
+   others, so the unspecified iteration order is fine *)
 let handle_history t digest ~src =
-  Node_id.Table.replace t.peer_digests src digest;
-  List.iter (fun (payload, _) -> check_stability t (Payload.id payload)) (Buffer.contents t.buffer)
+  Node_id.Table.replace t.peer_digests src (Recv_log.index digest);
+  Buffer.iter t.buffer (fun payload _phase -> check_stability t (Payload.id payload))
 
 let handle_handoff t payloads ~src =
   emit t (Events.Handoff_received { from = src; count = List.length payloads });
@@ -559,8 +592,10 @@ let handle_handoff t payloads ~src =
         (* we already buffer it: take over the long-term role *)
         if Buffer.phase_of t.buffer id = Some Buffer.Short_term then begin
           cancel_idle t id;
-          Buffer.promote t.buffer id;
-          emit t (Events.Promoted_long_term id)
+          (* cancel_idle can fire a pending discard, so the entry may
+             be gone by now: promotion of an absent id is a no-op *)
+          if Buffer.promote t.buffer id then emit t (Events.Promoted_long_term id)
+          else emit t (Events.Promotion_skipped id)
         end
       end
       else begin

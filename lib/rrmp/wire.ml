@@ -19,7 +19,13 @@ let bytes = function
   | Data p | Repair p | Regional_repair p -> header + Payload.size p
   | Handoff payloads ->
     List.fold_left (fun acc p -> acc + Payload.size p) header payloads
-  | History digest -> control + (16 * List.length digest)
+  | History digest ->
+    (* 16 bytes per source entry (address + horizon) plus 8 per listed
+       missing seq: the per-source missing lists are real wire payload,
+       and dropping them undercounts stability traffic *)
+    List.fold_left
+      (fun acc (_, (_, missing)) -> acc + 16 + (8 * List.length missing))
+      control digest
   | Gossip table -> control + (16 * List.length table)
   | Session _ | Local_request _ | Remote_request _ | Search _ | Have _ -> control
 

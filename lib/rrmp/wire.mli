@@ -28,8 +28,9 @@ type t =
 
 val bytes : t -> int
 (** Approximate wire size: payload-carrying messages cost a 32-byte
-    header plus the payload; control messages cost 64 bytes (plus 16
-    per digest/handoff entry). Used by the bandwidth model. *)
+    header plus the payload; control messages cost 64 bytes, plus 16
+    per digest/gossip entry and, for [History], 8 per missing sequence
+    number listed under a source. Used by the bandwidth model. *)
 
 val cls : t -> string
 (** Traffic class for network accounting: "data", "session",

@@ -39,7 +39,16 @@ let test_wire_bytes () =
   Alcotest.(check int) "handoff sums payloads" (32 + 2000)
     (Wire.bytes (Wire.Handoff [ payload; payload ]));
   Alcotest.(check bool) "history scales with entries" true
-    (Wire.bytes (Wire.History [ (Node_id.of_int 0, (5, [])) ]) > Wire.bytes (Wire.History []))
+    (Wire.bytes (Wire.History [ (Node_id.of_int 0, (5, [])) ]) > Wire.bytes (Wire.History []));
+  (* the per-source missing lists are wire payload too: 64-byte control
+     header + 16 per source + 8 per missing seq *)
+  Alcotest.(check int) "history charges missing seqs"
+    (64 + 16 + (8 * 3))
+    (Wire.bytes (Wire.History [ (Node_id.of_int 0, (5, [ 1; 2; 4 ])) ]));
+  Alcotest.(check int) "history multi-source"
+    (64 + (16 + 8) + 16)
+    (Wire.bytes
+       (Wire.History [ (Node_id.of_int 0, (5, [ 3 ])); (Node_id.of_int 1, (2, [])) ]))
 
 let test_wire_pp_smoke () =
   let render msg = Format.asprintf "%a" Wire.pp msg in

@@ -87,6 +87,42 @@ let test_stability_holds_while_member_missing () =
     (Member.has_received (Group.member group victim) id);
   Alcotest.(check int) "drained after stability" 0 (Group.count_buffered group id)
 
+(* History handling revisits buffered entries through Buffer.iter,
+   whose order is unspecified (hashtable order, steered here by the
+   insertion sequence). The stability outcome must not depend on it. *)
+let stability_final_buffer ~insert_order =
+  let topology = Topology.single_region ~size:2 in
+  let config =
+    { Config.default with
+      Config.buffering =
+        Config.Stability { exchange_interval = 10.0; hold_after_stable = 5.0 };
+    }
+  in
+  let group = Group.create ~seed:11 ~config ~topology () in
+  let holder = Group.member group (Node_id.of_int 0) in
+  let peer = Group.member group (Node_id.of_int 1) in
+  List.iter
+    (fun seq ->
+      Member.force_buffer holder ~phase:Rrmp.Buffer.Short_term (Rrmp.Payload.make (mid seq)))
+    insert_order;
+  (* the peer has everything, so its history makes each entry stable *)
+  List.iter (fun seq -> Member.force_received peer (mid seq)) insert_order;
+  Group.run ~until:200.0 group;
+  Member.buffer_size holder
+
+let test_stability_independent_of_buffer_order () =
+  let ascending = List.init 12 Fun.id in
+  let a = stability_final_buffer ~insert_order:ascending in
+  let b = stability_final_buffer ~insert_order:(List.rev ascending) in
+  let c =
+    (* interleaved: 0,6,1,7,... gives yet another hashtable layout *)
+    stability_final_buffer
+      ~insert_order:(List.concat_map (fun i -> [ i; i + 6 ]) (List.init 6 Fun.id))
+  in
+  Alcotest.(check int) "ascending drains" 0 a;
+  Alcotest.(check int) "descending = ascending" a b;
+  Alcotest.(check int) "interleaved = ascending" a c
+
 (* --- hashed selection ------------------------------------------------ *)
 
 let test_hashed_decide_deterministic () =
@@ -185,6 +221,8 @@ let suites =
       [
         Alcotest.test_case "discards once stable" `Quick test_stability_discards_once_stable;
         Alcotest.test_case "holds while member missing" `Quick test_stability_holds_while_member_missing;
+        Alcotest.test_case "independent of buffer order" `Quick
+          test_stability_independent_of_buffer_order;
       ] );
     ( "rrmp.policy.hashed",
       [

@@ -109,6 +109,95 @@ let qcheck_gap_invariant =
         && List.length missing + Gap_detect.received_count d >= h + 1)
 
 (* ------------------------------------------------------------------ *)
+(* Model tests: windowed detector vs the set-based oracle              *)
+(* ------------------------------------------------------------------ *)
+
+module Gap_oracle = Protocol.Gap_oracle
+
+(* an event is (tag, seq): tags 0-3 deliver data, 4 is a session
+   advertisement, 5-6 a repair — data-heavy like real traffic *)
+let apply_event d o (tag, seq) =
+  match tag mod 7 with
+  | 4 -> Gap_detect.note_session d ~max_seq:seq = Gap_oracle.note_session o ~max_seq:seq
+  | 5 | 6 ->
+    Gap_detect.note_repaired d seq;
+    Gap_oracle.note_repaired o seq;
+    true
+  | _ -> Gap_detect.note_data d seq = Gap_oracle.note_data o seq
+
+let observables_agree d o =
+  Gap_detect.missing d = Gap_oracle.missing o
+  && Gap_detect.missing_count d = Gap_oracle.missing_count o
+  && Gap_detect.received_count d = Gap_oracle.received_count o
+  && Gap_detect.highest_seen d = Gap_oracle.highest_seen o
+  && Gap_detect.digest d = Gap_oracle.digest o
+
+let qcheck_gap_model =
+  QCheck.Test.make ~name:"windowed gap-detect = set oracle (every observable)"
+    ~count:1_000
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 6) (int_bound 900)))
+    (fun events ->
+      let d = Gap_detect.create () in
+      let o = Gap_oracle.create () in
+      List.for_all
+        (fun ev ->
+          apply_event d o ev
+          && observables_agree d o
+          && List.for_all
+               (fun s -> Gap_detect.received d s = Gap_oracle.received o s)
+               [ 0; 1; 7; 63; 511; 512; 901 ])
+        events)
+
+(* seqs drawn far apart force the bitset window to slide and regrow *)
+let qcheck_gap_model_wide =
+  QCheck.Test.make ~name:"windowed gap-detect = set oracle (sparse seqs)" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 25) (pair (int_bound 6) (int_bound 20_000)))
+    (fun events ->
+      let d = Gap_detect.create () in
+      let o = Gap_oracle.create () in
+      List.for_all (fun ev -> apply_event d o ev && observables_agree d o) events)
+
+let qcheck_digest_index =
+  QCheck.Test.make ~name:"indexed digest = list digest" ~count:1_000
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 6)
+           (pair (int_bound 8)
+              (pair (int_bound 30) (list_of_size Gen.(int_range 0 10) (int_bound 30)))))
+        (list_of_size Gen.(int_range 1 20) (pair (int_bound 9) (int_bound 31))))
+    (fun (raw, queries) ->
+      let digest =
+        List.map
+          (fun (s, (h, miss)) -> (src s, (h, List.sort_uniq Int.compare miss)))
+          raw
+        |> List.sort_uniq (fun (a, _) (b, _) -> Node_id.compare a b)
+      in
+      let idx = Recv_log.index digest in
+      List.for_all
+        (fun (s, seq) ->
+          let q = id ~source:s seq in
+          Recv_log.digest_has digest q = Recv_log.indexed_has idx q)
+        queries)
+
+(* the indexed form built from a live log agrees with the list form *)
+let qcheck_digest_index_from_log =
+  QCheck.Test.make ~name:"indexed digest = list digest (live log)" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 40) (pair (int_bound 2) (int_bound 50)))
+    (fun events ->
+      let log = Recv_log.create () in
+      List.iter (fun (s, seq) -> ignore (Recv_log.note_data log (id ~source:s seq))) events;
+      let digest = Recv_log.digest log in
+      let idx = Recv_log.index digest in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun seq ->
+              let q = id ~source:s seq in
+              Recv_log.digest_has digest q = Recv_log.indexed_has idx q)
+            (List.init 52 Fun.id))
+        [ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
 (* Recv_log                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -161,6 +250,16 @@ let suites =
         Alcotest.test_case "repair clears" `Quick test_gap_repair_clears_missing;
         Alcotest.test_case "data after session" `Quick test_gap_data_after_session;
         QCheck_alcotest.to_alcotest qcheck_gap_invariant;
+      ] );
+    ( "protocol.gap_model",
+      [
+        QCheck_alcotest.to_alcotest qcheck_gap_model;
+        QCheck_alcotest.to_alcotest qcheck_gap_model_wide;
+      ] );
+    ( "protocol.digest_index",
+      [
+        QCheck_alcotest.to_alcotest qcheck_digest_index;
+        QCheck_alcotest.to_alcotest qcheck_digest_index_from_log;
       ] );
     ( "protocol.recv_log",
       [

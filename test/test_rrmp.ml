@@ -75,7 +75,7 @@ let test_buffer_insert_find_remove () =
   Alcotest.(check bool) "mem" true (Buffer.mem b (mid 0));
   Alcotest.(check int) "bytes" 100 (Buffer.bytes b);
   Alcotest.(check bool) "phase" true (Buffer.phase_of b (mid 0) = Some Buffer.Short_term);
-  Buffer.promote b (mid 0);
+  Alcotest.(check bool) "promote" true (Buffer.promote b (mid 0));
   Alcotest.(check bool) "promoted" true (Buffer.phase_of b (mid 0) = Some Buffer.Long_term);
   (match Buffer.remove b (mid 0) with
    | Some removed -> Alcotest.(check bool) "same payload" true (Payload.equal removed p)
@@ -108,6 +108,59 @@ let test_buffer_long_term_payloads () =
   Alcotest.(check int) "short count" 1 (Buffer.count_phase b Buffer.Short_term);
   Alcotest.(check (list int)) "long-term ids" [ 1; 2 ]
     (List.map (fun p -> Msg_id.seq (Payload.id p)) (Buffer.long_term_payloads b))
+
+let test_buffer_promote_absent_is_noop () =
+  let sim = Engine.Sim.create () in
+  let b = Buffer.create ~sim in
+  (* promoting an id that was never (or no longer) buffered must not
+     raise: a handoff can race a discard *)
+  Alcotest.(check bool) "absent promote refused" false (Buffer.promote b (mid 0));
+  ignore (Buffer.insert b ~phase:Buffer.Short_term (Payload.make (mid 0)));
+  ignore (Buffer.remove b (mid 0));
+  Alcotest.(check bool) "discarded promote refused" false (Buffer.promote b (mid 0));
+  Alcotest.(check int) "no phantom long-term entry" 0 (Buffer.count_phase b Buffer.Long_term)
+
+let test_buffer_phase_counters () =
+  let sim = Engine.Sim.create () in
+  let b = Buffer.create ~sim in
+  for seq = 0 to 4 do
+    ignore (Buffer.insert b ~phase:Buffer.Short_term (Payload.make (mid seq)))
+  done;
+  ignore (Buffer.insert b ~phase:Buffer.Long_term (Payload.make (mid 5)));
+  Alcotest.(check int) "short" 5 (Buffer.count_phase b Buffer.Short_term);
+  Alcotest.(check int) "long" 1 (Buffer.count_phase b Buffer.Long_term);
+  Alcotest.(check bool) "promote" true (Buffer.promote b (mid 0));
+  Alcotest.(check bool) "re-promote is idempotent" true (Buffer.promote b (mid 0));
+  Alcotest.(check int) "short after promote" 4 (Buffer.count_phase b Buffer.Short_term);
+  Alcotest.(check int) "long after promote" 2 (Buffer.count_phase b Buffer.Long_term);
+  ignore (Buffer.remove b (mid 0));
+  ignore (Buffer.remove b (mid 1));
+  Alcotest.(check int) "short after removes" 3 (Buffer.count_phase b Buffer.Short_term);
+  Alcotest.(check int) "long after removes" 1 (Buffer.count_phase b Buffer.Long_term);
+  (* counters must always agree with a full scan *)
+  let scan phase = Buffer.fold b ~init:0 (fun acc _ p -> if p = phase then acc + 1 else acc) in
+  Alcotest.(check int) "short matches scan" (scan Buffer.Short_term)
+    (Buffer.count_phase b Buffer.Short_term);
+  Alcotest.(check int) "long matches scan" (scan Buffer.Long_term)
+    (Buffer.count_phase b Buffer.Long_term)
+
+let test_buffer_iter_fold_match_contents () =
+  let sim = Engine.Sim.create () in
+  let b = Buffer.create ~sim in
+  List.iter
+    (fun (seq, phase) -> ignore (Buffer.insert b ~phase (Payload.make (mid seq))))
+    [ (3, Buffer.Long_term); (0, Buffer.Short_term); (7, Buffer.Long_term); (1, Buffer.Short_term) ];
+  let sort l = List.sort compare l in
+  let via_contents =
+    List.map (fun (p, phase) -> (Msg_id.seq (Payload.id p), phase)) (Buffer.contents b)
+  in
+  let via_fold =
+    Buffer.fold b ~init:[] (fun acc p phase -> (Msg_id.seq (Payload.id p), phase) :: acc)
+  in
+  let via_iter = ref [] in
+  Buffer.iter b (fun p phase -> via_iter := (Msg_id.seq (Payload.id p), phase) :: !via_iter);
+  Alcotest.(check bool) "fold = contents" true (sort via_fold = sort via_contents);
+  Alcotest.(check bool) "iter = contents" true (sort !via_iter = sort via_contents)
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end delivery and recovery                                    *)
@@ -522,6 +575,9 @@ let suites =
         Alcotest.test_case "insert/find/remove" `Quick test_buffer_insert_find_remove;
         Alcotest.test_case "occupancy integral" `Quick test_buffer_occupancy_integral;
         Alcotest.test_case "long-term payloads" `Quick test_buffer_long_term_payloads;
+        Alcotest.test_case "promote absent no-op" `Quick test_buffer_promote_absent_is_noop;
+        Alcotest.test_case "phase counters" `Quick test_buffer_phase_counters;
+        Alcotest.test_case "iter/fold match contents" `Quick test_buffer_iter_fold_match_contents;
       ] );
     ( "rrmp.recovery",
       [
