@@ -632,6 +632,193 @@ let state_result_json r =
     | Some s -> [ ("speedup_vs_oracle", Tracing.Json.Float s) ]
     | None -> [])
 
+(* ------------------------------------------------------------------ *)
+(* Scale suite: coalesced deadline rings vs per-message idle timers    *)
+(* (BENCH_scale.json)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The ext_scale workload at [quantum = 0.0] runs the exact per-message
+   Timer.Idle path (the "before" configuration); [quantum > 0] runs the
+   coalesced deadline rings. Both are measured with the observer off so
+   the emission-gating fast path is what's timed, and minor-heap words
+   are charged per delivered message — the zero-allocation claim made
+   precise. *)
+
+type scale_result = {
+  sc_name : string;
+  sc_members : int;
+  sc_quantum : float;
+  sc_wall_s : float;
+  sc_sim_events : int;
+  sc_delivered : int;
+  sc_minor_words_per_op : float;
+  sc_speedup : float option; (* ring vs per-message timers, same size *)
+}
+
+let measure_scale ~n ~msgs ~burst ~quantum sc_name =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Experiments.Ext_scale.run_once ~n ~msgs ~burst ~quantum ~seed:1 ~observe:false ()
+  in
+  let sc_wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    sc_name;
+    sc_members = n;
+    sc_quantum = quantum;
+    sc_wall_s;
+    sc_sim_events = stats.Experiments.Ext_scale.sim_events;
+    sc_delivered = stats.Experiments.Ext_scale.delivered;
+    sc_minor_words_per_op = words /. float_of_int (max 1 stats.Experiments.Ext_scale.delivered);
+    sc_speedup = None;
+  }
+
+let print_scale r =
+  Format.printf "  %-44s %8.3f s  %9d sim events  %8.2f words/op%s@." r.sc_name
+    r.sc_wall_s r.sc_sim_events r.sc_minor_words_per_op
+    (match r.sc_speedup with
+     | Some s -> Format.asprintf "  %5.2fx vs timers" s
+     | None -> "")
+
+(* The deadline-management component in isolation, at the sweep's
+   deadline population: [members * msgs] concurrent deadlines, [rounds]
+   full feedback passes (every deadline touched), then expiry. This is
+   the op mix [touch_feedback]/[start_idle_timer] generate inside the
+   sweep, with the per-delivery protocol work (which dominates the
+   whole-run numbers above and is identical in both configurations)
+   stripped away — the speedup the rings were built for. *)
+
+let churn_timers ~members ~msgs ~rounds () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  let timers =
+    Array.init (members * msgs) (fun _ ->
+        Engine.Timer.Idle.create sim ~timeout:100.0 ~on_idle:(fun () -> incr fired))
+  in
+  for r = 1 to rounds do
+    ignore
+      (Engine.Sim.schedule_at sim ~at:(float_of_int r *. 20.0) (fun () ->
+           Array.iter Engine.Timer.Idle.touch timers))
+  done;
+  Engine.Sim.run sim;
+  (fired, sim)
+
+module Int_ring = Engine.Dring.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Fun.id
+end)
+
+let churn_rings ~members ~msgs ~rounds () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  let rings =
+    Array.init members (fun _ ->
+        Int_ring.create sim ~quantum:10.0 ~on_expire:(fun _ -> incr fired))
+  in
+  Array.iter
+    (fun ring ->
+      for m = 0 to msgs - 1 do
+        Int_ring.add ring m ~timeout:100.0
+      done)
+    rings;
+  for r = 1 to rounds do
+    ignore
+      (Engine.Sim.schedule_at sim ~at:(float_of_int r *. 20.0) (fun () ->
+           Array.iter
+             (fun ring ->
+               for m = 0 to msgs - 1 do
+                 Int_ring.touch ring m
+               done)
+             rings))
+  done;
+  Engine.Sim.run sim;
+  (fired, sim)
+
+let measure_churn ~members ~msgs ~quantum sc_name f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let fired, sim = f () in
+  let sc_wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  if !fired <> members * msgs then
+    failwith (sc_name ^ ": some deadlines never fired");
+  {
+    sc_name;
+    sc_members = members;
+    sc_quantum = quantum;
+    sc_wall_s;
+    sc_sim_events = Engine.Sim.events_executed sim;
+    sc_delivered = !fired;
+    sc_minor_words_per_op = words /. float_of_int (max 1 !fired);
+    sc_speedup = None;
+  }
+
+let run_scale ~smoke () =
+  let sizes = if smoke then [ 256 ] else [ 256; 1024; 2048; 5000 ] in
+  let msgs = if smoke then 8 else 48 in
+  let burst = if smoke then 4 else 8 in
+  let quantum = 10.0 in
+  let sweep =
+    List.concat_map
+      (fun n ->
+        let before =
+          measure_scale ~n ~msgs ~burst ~quantum:0.0
+            (Printf.sprintf "scale/sweep n=%d per-msg timers (before)" n)
+        in
+        let after =
+          measure_scale ~n ~msgs ~burst ~quantum
+            (Printf.sprintf "scale/sweep n=%d deadline rings (after)" n)
+        in
+        let after =
+          { after with
+            sc_speedup = Some (before.sc_wall_s /. Float.max after.sc_wall_s 1e-9) }
+        in
+        print_scale before;
+        print_scale after;
+        [ before; after ])
+      sizes
+  in
+  let c_members = if smoke then 256 else 5000 in
+  let c_msgs = if smoke then 8 else 48 in
+  let rounds = if smoke then 2 else 4 in
+  let churn_before =
+    measure_churn ~members:c_members ~msgs:c_msgs ~quantum:0.0
+      (Printf.sprintf "scale/deadline-churn %dx%d per-msg timers (before)" c_members c_msgs)
+      (churn_timers ~members:c_members ~msgs:c_msgs ~rounds)
+  in
+  let churn_after =
+    let r =
+      measure_churn ~members:c_members ~msgs:c_msgs ~quantum
+        (Printf.sprintf "scale/deadline-churn %dx%d deadline rings (after)" c_members c_msgs)
+        (churn_rings ~members:c_members ~msgs:c_msgs ~rounds)
+    in
+    { r with sc_speedup = Some (churn_before.sc_wall_s /. Float.max r.sc_wall_s 1e-9) }
+  in
+  print_scale churn_before;
+  print_scale churn_after;
+  sweep @ [ churn_before; churn_after ]
+
+let scale_result_json r =
+  Tracing.Json.Obj
+    ([
+       ("name", Tracing.Json.String r.sc_name);
+       ("members", Tracing.Json.Int r.sc_members);
+       ("quantum_ms", Tracing.Json.Float r.sc_quantum);
+       ("wall_s", Tracing.Json.Float r.sc_wall_s);
+       ("sim_events", Tracing.Json.Int r.sc_sim_events);
+       ( "events_per_sec",
+         Tracing.Json.Float (float_of_int r.sc_sim_events /. Float.max r.sc_wall_s 1e-9) );
+       ("delivered", Tracing.Json.Int r.sc_delivered);
+       ("minor_words_per_op", Tracing.Json.Float r.sc_minor_words_per_op);
+     ]
+    @
+    match r.sc_speedup with
+    | Some s -> [ ("speedup_vs_timers", Tracing.Json.Float s) ]
+    | None -> [])
+
 (* --det-check: the CI guard behind the bench-smoke alias — one
    experiment at -j 1 vs -j 4, byte-compared *)
 let det_check () =
@@ -673,6 +860,10 @@ let bench ~smoke ~jobs () =
   Format.printf " Parallel experiment runner (deterministic; -j %d)@." jobs;
   Format.printf "---------------------------------------------------------------------@.";
   let parallels = run_parallel ~smoke ~jobs () in
+  Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Scale sweep: deadline rings vs per-message timers@.";
+  Format.printf "---------------------------------------------------------------------@.";
+  let scales = run_scale ~smoke () in
   write_json "BENCH_engine.json"
     (suite_json ~suite:"engine" ~smoke (List.rev_map bench_result_json engine));
   write_json "BENCH_protocol.json"
@@ -682,11 +873,14 @@ let bench ~smoke ~jobs () =
     (suite_json ~suite:"protocol-state" ~smoke (List.map state_result_json states));
   write_json "BENCH_parallel.json"
     (suite_json ~suite:"parallel" ~smoke (List.map parallel_result_json parallels));
+  write_json "BENCH_scale.json"
+    (suite_json ~suite:"scale" ~smoke (List.map scale_result_json scales));
   if smoke then begin
     validate_json "BENCH_engine.json";
     validate_json "BENCH_protocol.json";
     validate_json "BENCH_state.json";
-    validate_json "BENCH_parallel.json"
+    validate_json "BENCH_parallel.json";
+    validate_json "BENCH_scale.json"
   end
 
 let () =
@@ -700,6 +894,13 @@ let () =
         | _ -> failwith ("bad -j value: " ^ argv.(i + 1)))
     argv;
   if Array.exists (String.equal "--det-check") argv then exit (det_check ())
+  else if Array.exists (String.equal "--scale-only") argv then begin
+    (* just the ring-vs-timers sweep + its JSON, for quick iteration *)
+    let smoke = Array.exists (String.equal "--smoke") argv in
+    let scales = run_scale ~smoke () in
+    write_json "BENCH_scale.json"
+      (suite_json ~suite:"scale" ~smoke (List.map scale_result_json scales))
+  end
   else begin
     let smoke = Array.exists (String.equal "--smoke") argv in
     if not smoke then reproduce ();

@@ -1,0 +1,106 @@
+(* Coalesced deadline ring.
+
+   One ring replaces a population of per-entry idle timers: entries are
+   bucketed by quantized deadline tick (ceil (deadline / quantum)), and
+   a single {!Sim} event per non-empty bucket sweeps all entries whose
+   deadline falls in that quantum. [touch] is a pure O(1) field write —
+   no [Sim.cancel], no re-schedule — using the same lazy-invalidate
+   trick as {!Sim}'s cancels: a swept entry whose deadline has moved to
+   a later tick is silently re-bucketed instead of fired.
+
+   Firing is late by construction, never early: a bucket's sweep runs at
+   [tick * quantum >= deadline], so an entry expires within
+   [quantum) ms after its exact deadline (exactly on it when the
+   deadline is tick-aligned). Fire order within one sweep is insertion
+   order, which together with {!Sim}'s (time, seq) total order keeps
+   runs deterministic. *)
+
+module Make (Key : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (Key)
+
+  type entry = {
+    key : Key.t;
+    timeout : float;  (* immutable: quiet period granted by the last add *)
+    mutable due_tick : int;  (* ceil ((last_activity + timeout) / quantum) *)
+    mutable live : bool;
+  }
+
+  type bucket = { mutable pending : entry list (* reverse insertion order *); handle : Sim.handle }
+
+  type t = {
+    sim : Sim.t;
+    quantum : float;
+    on_expire : Key.t -> unit;
+    entries : entry Tbl.t;  (* live entries only *)
+    buckets : (int, bucket) Hashtbl.t;  (* tick -> its scheduled sweep *)
+  }
+
+  let create sim ~quantum ~on_expire =
+    if not (quantum > 0.0) then invalid_arg "Dring.create: quantum must be positive";
+    { sim; quantum; on_expire; entries = Tbl.create 64; buckets = Hashtbl.create 16 }
+
+  let quantum t = t.quantum
+
+  let length t = Tbl.length t.entries
+
+  let mem t key = Tbl.mem t.entries key
+
+  (* allocation-free: all float temporaries stay unboxed *)
+  let[@inline] tick_of t at = int_of_float (Float.ceil (at /. t.quantum))
+
+  let rec place t e =
+    let tick = e.due_tick in
+    match Hashtbl.find_opt t.buckets tick with
+    | Some b -> b.pending <- e :: b.pending
+    | None ->
+      let at = float_of_int tick *. t.quantum in
+      let b = { pending = [ e ]; handle = Sim.schedule_at t.sim ~at (fun () -> sweep t tick) } in
+      Hashtbl.add t.buckets tick b
+
+  and sweep t tick =
+    match Hashtbl.find_opt t.buckets tick with
+    | None -> ()
+    | Some b ->
+      Hashtbl.remove t.buckets tick;
+      List.iter
+        (fun e ->
+          if e.live then begin
+            if e.due_tick > tick then place t e  (* touched since bucketing: defer *)
+            else begin
+              e.live <- false;
+              Tbl.remove t.entries e.key;
+              t.on_expire e.key
+            end
+          end)
+        (List.rev b.pending)
+
+  let stop t key =
+    match Tbl.find_opt t.entries key with
+    | None -> ()
+    | Some e ->
+      e.live <- false;  (* the bucket sweep drops it lazily *)
+      Tbl.remove t.entries key
+
+  let add t key ~timeout =
+    if not (timeout > 0.0) then invalid_arg "Dring.add: timeout must be positive";
+    stop t key;
+    let e = { key; timeout; due_tick = tick_of t (Sim.now t.sim +. timeout); live = true } in
+    Tbl.add t.entries key e;
+    place t e
+
+  let touch t key =
+    match Tbl.find t.entries key with
+    | e ->
+      (* the quantization is written out so every float temporary stays
+         unboxed even without cross-function inlining: touch must not
+         allocate *)
+      e.due_tick <- int_of_float (Float.ceil ((Sim.now t.sim +. e.timeout) /. t.quantum))
+    | exception Not_found -> ()
+
+  let clear t =
+    Hashtbl.iter (fun _ b -> Sim.cancel b.handle) t.buckets;
+    Hashtbl.reset t.buckets;
+    Tbl.reset t.entries
+
+  let pending_sweeps t = Hashtbl.length t.buckets
+end

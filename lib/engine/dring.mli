@@ -1,0 +1,63 @@
+(** Coalesced deadline ring: one shared structure in place of many
+    per-entry {!Timer.Idle} instances.
+
+    Entries are keyed, carry a fixed quiet period ([timeout]), and are
+    bucketed by quantized deadline: bucket tick of an entry is
+    [ceil ((last_activity + timeout) / quantum)]. A single {!Sim} event
+    per non-empty bucket sweeps every entry due in that quantum, so a
+    member holding [m] armed deadlines costs [O(distinct buckets)]
+    scheduler entries instead of [m].
+
+    {!touch} — the hot operation: "activity seen, push the deadline
+    back" — is a table lookup plus one integer field write. It never
+    touches the scheduler; a swept entry whose deadline moved to a
+    later tick is lazily re-bucketed (the same lazy-invalidation strategy
+    as {!Sim.cancel}'s deferred reaping). With a key module whose [hash]
+    does not allocate, {!touch} performs zero minor-heap allocation.
+
+    Quantization bound: an entry expires at [tick * quantum], which is
+    at most [quantum] later than its exact deadline [last_activity +
+    timeout] — and never earlier. With tick-aligned deadlines the
+    firing time is exact. Fire order is deterministic: buckets fire in
+    {!Sim} (time, seq) order and entries within a bucket in insertion
+    order. *)
+
+module Make (Key : Hashtbl.HashedType) : sig
+  type t
+
+  val create : Sim.t -> quantum:float -> on_expire:(Key.t -> unit) -> t
+  (** @raise Invalid_argument if [quantum <= 0]. [on_expire] runs when
+      an entry's (possibly touched-forward) deadline quantum is swept;
+      the entry is already removed when it runs, so re-adding the key
+      from the callback is safe. *)
+
+  val add : t -> Key.t -> timeout:float -> unit
+  (** Arm (or re-arm, replacing any previous state) a deadline
+      [timeout] ms of quiet from now. O(1).
+      @raise Invalid_argument if [timeout <= 0]. *)
+
+  val touch : t -> Key.t -> unit
+  (** Reset the quiet period: the entry now expires [timeout] ms from
+      the current {!Sim.now}. No-op for unknown (expired/stopped) keys.
+      O(1), allocation-free, never touches the scheduler. *)
+
+  val stop : t -> Key.t -> unit
+  (** Disarm without firing. No-op for unknown keys. O(1); the bucket
+      entry is reaped lazily at sweep time. *)
+
+  val mem : t -> Key.t -> bool
+  (** Is the key currently armed? *)
+
+  val length : t -> int
+  (** Armed entries. *)
+
+  val clear : t -> unit
+  (** Disarm everything and cancel every scheduled sweep. *)
+
+  val quantum : t -> float
+
+  val pending_sweeps : t -> int
+  (** Distinct buckets with a scheduled sweep — the coalescing factor
+      under test: [length t] entries share [pending_sweeps t] scheduler
+      events. *)
+end

@@ -2,7 +2,15 @@
 
 (** A timer that fires once after a period with no activity; every
     {!Idle.touch} pushes the deadline back. This is exactly the shape of
-    RRMP's idle-threshold detection: "no request received for T ms". *)
+    RRMP's idle-threshold detection: "no request received for T ms".
+
+    Each [Idle] owns a scheduler entry, and [touch] cancels and
+    re-arms it — exact, but costly when thousands of deadlines are
+    touched per simulated second. For large populations of coalescable
+    deadlines use {!Dring}, which trades at most one quantum of firing
+    lateness for O(1) allocation-free touches and one scheduler entry
+    per deadline bucket. [Idle] remains the exact-semantics reference
+    that {!Dring} is lockstep-tested against. *)
 module Idle : sig
   type t
 

@@ -152,6 +152,16 @@ let all =
         (fun ~quick ->
           if quick then Ext_selection.run ~trials:20 () else Ext_selection.run ());
     };
+    {
+      id = "ext_scale";
+      description = "Large-group scale-out: region sweep at fixed per-member load (deadline rings)";
+      paper_ref = "extension (Section 1 'scalability' motivation)";
+      run =
+        (fun ~quick ->
+          if quick then
+            Ext_scale.run ~sizes:[ 256; 512; 1024 ] ~msgs:16 ~burst:4 ~trials:1 ()
+          else Ext_scale.run ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -39,6 +39,11 @@ type 'msg t = {
   bandwidth : 'msg bandwidth option;
   egress_free_at : float Node_id.Table.t;  (* per-src link-free time *)
   batched : bool;
+  (* pre-resolved metric handles; null sinks until [attach_metrics], so
+     the per-packet bumps below never branch or hash a name *)
+  mutable mh_sent : Tracing.Metrics.handle;
+  mutable mh_delivered : Tracing.Metrics.handle;
+  mutable mh_dropped : Tracing.Metrics.handle;
 }
 
 let create ~sim ~topology ~latency ~loss ~rng ?bandwidth ?(batched = true) () =
@@ -60,7 +65,15 @@ let create ~sim ~topology ~latency ~loss ~rng ?bandwidth ?(batched = true) () =
     bandwidth;
     egress_free_at = Node_id.Table.create 64;
     batched;
+    mh_sent = Tracing.Metrics.null_handle ();
+    mh_delivered = Tracing.Metrics.null_handle ();
+    mh_dropped = Tracing.Metrics.null_handle ();
   }
+
+let attach_metrics t metrics =
+  t.mh_sent <- Tracing.Metrics.handle metrics "net.sent";
+  t.mh_delivered <- Tracing.Metrics.handle metrics "net.delivered";
+  t.mh_dropped <- Tracing.Metrics.handle metrics "net.dropped"
 
 let sim t = t.sim
 
@@ -114,6 +127,7 @@ let deliver t ~c ~cls ~src ~dst ~sent_at msg =
     | None -> c.m_dropped_dead <- c.m_dropped_dead + 1
     | Some handler ->
       c.m_delivered <- c.m_delivered + 1;
+      t.mh_delivered := !(t.mh_delivered) + 1;
       let delivery = { src; dst; msg; sent_at; cls } in
       (match t.hook with None -> () | Some observe -> observe delivery);
       handler delivery
@@ -138,7 +152,11 @@ let egress_delay t ~src msg =
 let send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
   let c = counter_for t cls in
   c.m_sent <- c.m_sent + 1;
-  if lossy && Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+  t.mh_sent := !(t.mh_sent) + 1;
+  if lossy && Loss.drop t.loss ~src ~dst then begin
+    c.m_dropped_loss <- c.m_dropped_loss + 1;
+    t.mh_dropped := !(t.mh_dropped) + 1
+  end
   else begin
     let sent_at = Engine.Sim.now t.sim in
     let delay = extra_delay +. delay_between t ~src ~dst in
@@ -213,7 +231,11 @@ let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
       (fun dst ->
         if include_src || not (Node_id.equal dst src) then begin
           c.m_sent <- c.m_sent + 1;
-          if Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+          t.mh_sent := !(t.mh_sent) + 1;
+          if Loss.drop t.loss ~src ~dst then begin
+            c.m_dropped_loss <- c.m_dropped_loss + 1;
+            t.mh_dropped := !(t.mh_dropped) + 1
+          end
           else add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
         end)
       members;
@@ -229,6 +251,7 @@ let ip_multicast t ~cls ~src ~reach msg =
         if not (Node_id.equal dst src) then begin
           let c = counter_for t cls in
           c.m_sent <- c.m_sent + 1;
+          t.mh_sent := !(t.mh_sent) + 1;
           if reach dst then begin
             let sent_at = Engine.Sim.now t.sim in
             let delay = extra_delay +. delay_between t ~src ~dst in
@@ -236,7 +259,10 @@ let ip_multicast t ~cls ~src ~reach msg =
               (Engine.Sim.schedule t.sim ~delay (fun () ->
                    deliver t ~c:(counter_for t cls) ~cls ~src ~dst ~sent_at msg))
           end
-          else c.m_dropped_loss <- c.m_dropped_loss + 1
+          else begin
+            c.m_dropped_loss <- c.m_dropped_loss + 1;
+            t.mh_dropped := !(t.mh_dropped) + 1
+          end
         end)
       all
   else begin
@@ -247,8 +273,12 @@ let ip_multicast t ~cls ~src ~reach msg =
       (fun dst ->
         if not (Node_id.equal dst src) then begin
           c.m_sent <- c.m_sent + 1;
+          t.mh_sent := !(t.mh_sent) + 1;
           if reach dst then add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
-          else c.m_dropped_loss <- c.m_dropped_loss + 1
+          else begin
+            c.m_dropped_loss <- c.m_dropped_loss + 1;
+            t.mh_dropped := !(t.mh_dropped) + 1
+          end
         end)
       all;
     batched_fanout t ~cls ~src ~sent_at !groups msg
@@ -271,7 +301,11 @@ let ip_multicast_lossy t ~cls ~src msg =
       (fun dst ->
         if not (Node_id.equal dst src) then begin
           c.m_sent <- c.m_sent + 1;
-          if Loss.drop t.loss ~src ~dst then c.m_dropped_loss <- c.m_dropped_loss + 1
+          t.mh_sent := !(t.mh_sent) + 1;
+          if Loss.drop t.loss ~src ~dst then begin
+            c.m_dropped_loss <- c.m_dropped_loss + 1;
+            t.mh_dropped := !(t.mh_dropped) + 1
+          end
           else add_to_group groups (extra_delay +. delay_between t ~src ~dst) dst
         end)
       all;

@@ -49,6 +49,14 @@ val create :
     to force the per-receiver reference path (used by equivalence
     tests). *)
 
+val attach_metrics : 'msg t -> Tracing.Metrics.t -> unit
+(** Route aggregate per-packet counters ([net.sent], [net.delivered],
+    [net.dropped] — the last counts channel losses) into [metrics]
+    through pre-resolved handles: attachment hashes each name once, the
+    per-packet bumps are bare ref increments. Without an attachment the
+    increments go to unregistered sinks, so the hot path is identical
+    either way. *)
+
 val sim : 'msg t -> Engine.Sim.t
 
 val topology : 'msg t -> Topology.t

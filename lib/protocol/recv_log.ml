@@ -7,10 +7,12 @@ type verdict = Fresh of Msg_id.t list | Duplicate
 
 let create () = { per_source = Node_id.Table.create 4; duplicates = 0 }
 
+(* find (not find_opt): the steady-state hit costs no [Some] box, so
+   duplicate-delivery probes stay allocation-free *)
 let detector t source =
-  match Node_id.Table.find_opt t.per_source source with
-  | Some d -> d
-  | None ->
+  match Node_id.Table.find t.per_source source with
+  | d -> d
+  | exception Not_found ->
     let d = Gap_detect.create () in
     Node_id.Table.add t.per_source source d;
     d

@@ -21,6 +21,7 @@ type t = {
   max_recovery_tries : int option;
   buffering : buffering_policy;
   selection : bufferer_selection;
+  deadline_quantum : float;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     max_recovery_tries = None;
     buffering = Two_phase;
     selection = Randomized;
+    deadline_quantum = 0.0;
   }
 
 let validate t =
@@ -56,6 +58,7 @@ let validate t =
   then err "backoff max_delay must be positive"
   else if (match t.max_recovery_tries with Some m -> m <= 0 | None -> false) then
     err "max_recovery_tries must be positive"
+  else if t.deadline_quantum < 0.0 then err "deadline_quantum must be non-negative"
   else
     match t.buffering with
     | Fixed_time f when f <= 0.0 -> err "fixed-time buffering period must be positive"
@@ -81,4 +84,7 @@ let pp fmt t =
      | Immediate -> "immediate"
      | Backoff { max_delay } -> Printf.sprintf "backoff<%.1fms" max_delay)
     (match t.long_term_lifetime with None -> "inf" | Some l -> Printf.sprintf "%.0fms" l)
-    (match t.session_interval with None -> "off" | Some i -> Printf.sprintf "%.0fms" i)
+    (match t.session_interval with None -> "off" | Some i -> Printf.sprintf "%.0fms" i);
+  (* printed only when enabled so exact-mode (paper-scale) report text
+     is unchanged by the field's existence *)
+  if t.deadline_quantum > 0.0 then Format.fprintf fmt " quantum=%.1fms" t.deadline_quantum

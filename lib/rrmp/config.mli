@@ -73,6 +73,16 @@ type t = {
           [None] retries until recovery *)
   buffering : buffering_policy;
   selection : bufferer_selection;
+  deadline_quantum : float;
+      (** buffer-deadline coalescing quantum, ms. [0.0] (the default)
+          keeps the exact per-message {!Engine.Timer.Idle} path:
+          idle/lifetime deadlines fire at their precise instants, which
+          is the mode all paper-scale experiments run in. A positive
+          value routes both deadline populations through one coalesced
+          {!Engine.Dring} per member: discards may then fire up to one
+          quantum late (never early), in exchange for O(1)
+          allocation-free deadline touches and O(distinct buckets)
+          scheduler entries — the large-[n] scale-out mode. *)
 }
 
 val default : t

@@ -65,6 +65,9 @@ let describe = function
     Printf.sprintf "could not answer request for %s" (Protocol.Msg_id.to_string id)
 
 
+(* detail formatting is deferred: a capacity- or filter-dropped entry
+   never pays for Printf, and retained entries format on first read *)
 let tracing_observer tracer ~time ~self event =
-  Tracing.Tracer.record tracer ~time ~subject:(Node_id.to_string self)
-    ~event:(constructor event) (describe event)
+  Tracing.Tracer.record_lazy tracer ~time ~subject:(Node_id.to_string self)
+    ~event:(constructor event)
+    (fun () -> describe event)

@@ -7,6 +7,7 @@ type t = {
   net : Wire.t Network.t;
   config : Config.t;
   observer : Events.observer option;
+  metrics : Tracing.Metrics.t option;
   members : Member.t Node_id.Table.t;
   sender : Node_id.t;
 }
@@ -14,13 +15,13 @@ type t = {
 let spawn_member t node =
   let member =
     Member.create ~net:t.net ~config:t.config ~rng:(Engine.Rng.split t.rng) ~node
-      ?observer:t.observer ()
+      ?observer:t.observer ?metrics:t.metrics ()
   in
   Node_id.Table.replace t.members node member;
   member
 
 let create ?(seed = 1) ?(config = Config.default) ?(latency = Latency.paper_default)
-    ?(loss = Loss.Lossless) ?bandwidth ?observer ~topology () =
+    ?(loss = Loss.Lossless) ?bandwidth ?observer ?metrics ~topology () =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed in
   let loss = Loss.create loss ~rng:(Engine.Rng.split rng) in
@@ -32,6 +33,7 @@ let create ?(seed = 1) ?(config = Config.default) ?(latency = Latency.paper_defa
   let net =
     Network.create ~sim ~topology ~latency ~loss ~rng:(Engine.Rng.split rng) ?bandwidth ()
   in
+  Option.iter (Network.attach_metrics net) metrics;
   let nodes = Topology.all_nodes topology in
   if Array.length nodes = 0 then invalid_arg "Group.create: empty topology";
   let t =
@@ -42,6 +44,7 @@ let create ?(seed = 1) ?(config = Config.default) ?(latency = Latency.paper_defa
       net;
       config;
       observer;
+      metrics;
       members = Node_id.Table.create (Array.length nodes);
       sender = nodes.(0);
     }

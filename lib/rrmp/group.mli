@@ -13,6 +13,7 @@ val create :
   ?loss:Loss.model ->
   ?bandwidth:float ->
   ?observer:Events.observer ->
+  ?metrics:Tracing.Metrics.t ->
   topology:Topology.t ->
   unit ->
   t
@@ -22,7 +23,9 @@ val create :
     per ms, bounds each node's egress (infinite by default); packet
     sizes come from {!Wire.bytes}. The sender is the lowest-numbered
     node; by convention build topologies with the sender's region
-    first. *)
+    first. [metrics], when given, is attached to the network and every
+    member (aggregate [net.*] and [rrmp.*] counters via pre-resolved
+    handles). *)
 
 val sim : t -> Engine.Sim.t
 

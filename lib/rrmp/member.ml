@@ -5,6 +5,19 @@ module View = Membership.View
 module Sim = Engine.Sim
 module Rng = Engine.Rng
 module Timer = Engine.Timer
+module Metrics = Tracing.Metrics
+
+(* Coalesced deadline ring over message ids (the scale-out timer path,
+   enabled by [Config.deadline_quantum > 0]). The ring keeps its own
+   hash: unlike [Msg_id.hash] it allocates nothing, and since nothing
+   iterates the ring's table its ordering can't leak into seeded runs. *)
+module Ring = Engine.Dring.Make (struct
+  type t = Msg_id.t
+
+  let equal = Msg_id.equal
+
+  let hash id = (Node_id.to_int (Msg_id.source id) * 0x2545f49) lxor Msg_id.seq id
+end)
 
 (* An insertion-ordered node set: the waiting/search origin lists are
    appended to on every probe and consulted on every repair, so dedup
@@ -58,9 +71,14 @@ type t = {
   recv : Recv_log.t;
   buffer : Buffer.t;
   observer : Events.observer option;
+  observing : bool;  (* [observer <> None]: gates event construction *)
   recoveries : recovery Msg_id.Table.t;
   idle_timers : Timer.Idle.t Msg_id.Table.t;  (* short-term feedback timers *)
   lifetime_timers : Timer.Idle.t Msg_id.Table.t;  (* long-term eventual discard *)
+  mutable rings : (Ring.t * Ring.t) option;
+      (* (idle, lifetime) coalesced deadline rings; [Some] iff
+         [deadline_quantum > 0], in which case the two timer tables
+         above stay empty *)
   pending_remote : Origins.t Msg_id.Table.t;
       (* origins recorded while we miss the message ourselves *)
   searches : search Msg_id.Table.t;
@@ -79,6 +97,11 @@ type t = {
   mutable session_ticker : Timer.Periodic.t option;
   mutable failure_detector : Membership.Gossip_fd.t option;
   mutable rtt_estimate : float;  (* EWMA from request/repair exchanges *)
+  (* pre-resolved metric handles (null sinks when no registry is
+     attached): hot-path bumps never hash a counter name *)
+  mh_delivered : Metrics.handle;
+  mh_touches : Metrics.handle;
+  mh_discarded : Metrics.handle;
 }
 
 let node t = t.node
@@ -134,34 +157,50 @@ let remote_timeout t =
 (* ------------------------------------------------------------------ *)
 
 let touch_feedback t id =
-  (match Msg_id.Table.find_opt t.idle_timers id with
-   | Some timer -> Timer.Idle.touch timer
-   | None -> ());
-  match Msg_id.Table.find_opt t.lifetime_timers id with
-  | Some timer -> Timer.Idle.touch timer
-  | None -> ()
+  t.mh_touches := !(t.mh_touches) + 1;
+  match t.rings with
+  | Some (idle, lifetime) ->
+    (* O(1) field writes; no scheduler traffic, no allocation *)
+    Ring.touch idle id;
+    Ring.touch lifetime id
+  | None ->
+    (match Msg_id.Table.find_opt t.idle_timers id with
+     | Some timer -> Timer.Idle.touch timer
+     | None -> ());
+    (match Msg_id.Table.find_opt t.lifetime_timers id with
+     | Some timer -> Timer.Idle.touch timer
+     | None -> ())
 
 let cancel_idle t id =
-  (match Msg_id.Table.find_opt t.idle_timers id with
-   | Some timer ->
-     Timer.Idle.stop timer;
-     Msg_id.Table.remove t.idle_timers id
-   | None -> ());
-  (match Msg_id.Table.find_opt t.lifetime_timers id with
-   | Some timer ->
-     Timer.Idle.stop timer;
-     Msg_id.Table.remove t.lifetime_timers id
-   | None -> ());
-  (match Msg_id.Table.find_opt t.fixed_timers id with
-   | Some handle ->
-     Sim.cancel handle;
-     Msg_id.Table.remove t.fixed_timers id
-   | None -> ());
-  match Msg_id.Table.find_opt t.stable_timers id with
-  | Some handle ->
-    Sim.cancel handle;
-    Msg_id.Table.remove t.stable_timers id
-  | None -> ()
+  (match t.rings with
+   | Some (idle, lifetime) ->
+     Ring.stop idle id;
+     Ring.stop lifetime id
+   | None ->
+     (match Msg_id.Table.find_opt t.idle_timers id with
+      | Some timer ->
+        Timer.Idle.stop timer;
+        Msg_id.Table.remove t.idle_timers id
+      | None -> ());
+     (match Msg_id.Table.find_opt t.lifetime_timers id with
+      | Some timer ->
+        Timer.Idle.stop timer;
+        Msg_id.Table.remove t.lifetime_timers id
+      | None -> ()));
+  (* the policy-specific tables are populated only under Fixed_time /
+     Stability: the length guard spares Two_phase runs the hash *)
+  if Msg_id.Table.length t.fixed_timers <> 0 then
+    (match Msg_id.Table.find_opt t.fixed_timers id with
+     | Some handle ->
+       Sim.cancel handle;
+       Msg_id.Table.remove t.fixed_timers id
+     | None -> ());
+  if Msg_id.Table.length t.stable_timers <> 0 then
+    match Msg_id.Table.find_opt t.stable_timers id with
+    | Some handle ->
+      Sim.cancel handle;
+      Msg_id.Table.remove t.stable_timers id
+    | None -> ()
 
 let buffered_for t id =
   match Buffer.stored_at t.buffer id with
@@ -169,17 +208,21 @@ let buffered_for t id =
   | Some at -> Sim.now t.sim -. at
 
 let discard t id ~phase =
-  let duration = buffered_for t id in
+  let duration = if t.observing then buffered_for t id else 0.0 in
   cancel_idle t id;
   (match Buffer.remove t.buffer id with
-   | Some _ -> emit t (Events.Discarded { id; phase; buffered_for = duration })
+   | Some _ ->
+     t.mh_discarded := !(t.mh_discarded) + 1;
+     if t.observing then emit t (Events.Discarded { id; phase; buffered_for = duration })
    | None -> ())
 
 (* the idle threshold elapsed: randomized long-term buffering decision
    (Section 3.2) *)
 let become_idle t id =
-  Msg_id.Table.remove t.idle_timers id;
-  emit t (Events.Became_idle { id; buffered_for = buffered_for t id });
+  (match t.rings with
+   | Some _ -> ()  (* the ring already dropped the entry before firing *)
+   | None -> Msg_id.Table.remove t.idle_timers id);
+  if t.observing then emit t (Events.Became_idle { id; buffered_for = buffered_for t id });
   let n = View.local_size t.view in
   let c = t.config.Config.expected_bufferers in
   let keeps =
@@ -189,27 +232,35 @@ let become_idle t id =
   in
   if keeps then begin
     if Buffer.promote t.buffer id then begin
-      emit t (Events.Promoted_long_term id);
+      if t.observing then emit t (Events.Promoted_long_term id);
       match t.config.Config.long_term_lifetime with
       | None -> ()
       | Some lifetime ->
-        let timer =
-          Timer.Idle.create t.sim ~timeout:lifetime ~on_idle:(fun () ->
-              Msg_id.Table.remove t.lifetime_timers id;
-              discard t id ~phase:Buffer.Long_term)
-        in
-        Msg_id.Table.replace t.lifetime_timers id timer
+        (match t.rings with
+         | Some (_, ring) -> Ring.add ring id ~timeout:lifetime
+         | None ->
+           let timer =
+             Timer.Idle.create t.sim ~timeout:lifetime ~on_idle:(fun () ->
+                 Msg_id.Table.remove t.lifetime_timers id;
+                 discard t id ~phase:Buffer.Long_term)
+           in
+           Msg_id.Table.replace t.lifetime_timers id timer)
     end
-    else emit t (Events.Promotion_skipped id)
+    else if t.observing then emit t (Events.Promotion_skipped id)
   end
   else discard t id ~phase:Buffer.Short_term
 
+let lifetime_expired t id = discard t id ~phase:Buffer.Long_term
+
 let start_idle_timer t id =
-  let timer =
-    Timer.Idle.create t.sim ~timeout:(idle_threshold t) ~on_idle:(fun () ->
-        become_idle t id)
-  in
-  Msg_id.Table.replace t.idle_timers id timer
+  match t.rings with
+  | Some (ring, _) -> Ring.add ring id ~timeout:(idle_threshold t)
+  | None ->
+    let timer =
+      Timer.Idle.create t.sim ~timeout:(idle_threshold t) ~on_idle:(fun () ->
+          become_idle t id)
+    in
+    Msg_id.Table.replace t.idle_timers id timer
 
 (* Stability policy: a buffered message may be discarded
    [hold_after_stable] after every region member is known (through
@@ -261,9 +312,10 @@ let cancel_recovery t id =
     Option.iter Sim.cancel r.remote_timer;
     if r.local_tries > 0 then note_rtt_sample t (Sim.now t.sim -. r.last_probe_at);
     Msg_id.Table.remove t.recoveries id;
-    emit t
-      (Events.Recovered
-         { id; latency = Sim.now t.sim -. r.detected_at; local_tries = r.local_tries })
+    if t.observing then
+      emit t
+        (Events.Recovered
+           { id; latency = Sim.now t.sim -. r.detected_at; local_tries = r.local_tries })
 
 let tries_exhausted t tries =
   match t.config.Config.max_recovery_tries with
@@ -304,7 +356,7 @@ let rec remote_round t id r =
 
 let start_recovery t id =
   if not (Msg_id.Table.mem t.recoveries id) && not (Recv_log.received t.recv id) then begin
-    emit t (Events.Loss_detected id);
+    if t.observing then emit t (Events.Loss_detected id);
     let r =
       {
         detected_at = Sim.now t.sim;
@@ -397,7 +449,7 @@ let start_search t id ~origin =
       | Some q -> send t ~dst:q (Wire.Search { id; origin })
     end
   | None ->
-    emit t (Events.Search_started id);
+    if t.observing then emit t (Events.Search_started id);
     let s = { search_timer = None; origins = Origins.create (); search_tries = 0 } in
     ignore (Origins.add s.origins origin);
     Msg_id.Table.add t.searches id s;
@@ -413,7 +465,7 @@ let serve_from_buffer t id ~origin ?ack ~announce () =
   | None -> ()
   | Some payload ->
     send t ~dst:origin (Wire.Repair payload);
-    emit t (Events.Search_satisfied { id; origin });
+    if t.observing then emit t (Events.Search_satisfied { id; origin });
     if announce then begin
       if not (Msg_id.Table.mem t.have_announced id) then begin
         Msg_id.Table.add t.have_announced id ();
@@ -459,28 +511,34 @@ let schedule_regional_repair t payload =
       Msg_id.Table.add t.pending_regional id handle
     end
 
+(* populated only under the Backoff policy: the length guard keeps the
+   Immediate-mode repair path free of the Msg_id hash *)
 let suppress_regional t id =
-  match Msg_id.Table.find_opt t.pending_regional id with
-  | None -> ()
-  | Some handle ->
-    Sim.cancel handle;
-    Msg_id.Table.remove t.pending_regional id
+  if Msg_id.Table.length t.pending_regional <> 0 then
+    match Msg_id.Table.find_opt t.pending_regional id with
+    | None -> ()
+    | Some handle ->
+      Sim.cancel handle;
+      Msg_id.Table.remove t.pending_regional id
 
 (* first delivery of the message body to this member *)
 let accept t payload ~via =
   let id = Payload.id payload in
   cancel_recovery t id;
   t.delivered <- t.delivered + 1;
-  let delivered_via =
-    match via with
-    | `Multicast -> `Multicast
-    | `Regional -> `Regional
-    | `Repair_remote | `Repair_local -> `Repair
-  in
-  emit t (Events.Delivered { id; via = delivered_via });
+  t.mh_delivered := !(t.mh_delivered) + 1;
+  if t.observing then begin
+    let delivered_via =
+      match via with
+      | `Multicast -> `Multicast
+      | `Regional -> `Regional
+      | `Repair_remote | `Repair_local -> `Repair
+    in
+    emit t (Events.Delivered { id; via = delivered_via })
+  end;
   if Buffer.insert t.buffer ~phase:Buffer.Short_term payload then begin
     start_retention t id;
-    emit t (Events.Buffered { id; phase = Buffer.Short_term })
+    if t.observing then emit t (Events.Buffered { id; phase = Buffer.Short_term })
   end;
   relay_to_waiters t payload;
   (* a repair obtained from a remote region is multicast locally so
@@ -509,7 +567,7 @@ let handle_local_request t id ~src =
     | Some payload -> send t ~dst:src (Wire.Repair payload)
     | None -> ()
   end
-  else
+  else if t.observing then
     (* the paper: a member without the message ignores the request; the
        requester will time out and probe someone else *)
     emit t (Events.Request_unanswerable id)
@@ -584,7 +642,8 @@ let handle_history t digest ~src =
   Buffer.iter t.buffer (fun payload _phase -> check_stability t (Payload.id payload))
 
 let handle_handoff t payloads ~src =
-  emit t (Events.Handoff_received { from = src; count = List.length payloads });
+  if t.observing then
+    emit t (Events.Handoff_received { from = src; count = List.length payloads });
   List.iter
     (fun payload ->
       let id = Payload.id payload in
@@ -594,19 +653,22 @@ let handle_handoff t payloads ~src =
           cancel_idle t id;
           (* cancel_idle can fire a pending discard, so the entry may
              be gone by now: promotion of an absent id is a no-op *)
-          if Buffer.promote t.buffer id then emit t (Events.Promoted_long_term id)
-          else emit t (Events.Promotion_skipped id)
+          if Buffer.promote t.buffer id then begin
+            if t.observing then emit t (Events.Promoted_long_term id)
+          end
+          else if t.observing then emit t (Events.Promotion_skipped id)
         end
       end
       else begin
         if Recv_log.note_repaired t.recv id then begin
           cancel_recovery t id;
           t.delivered <- t.delivered + 1;
-          emit t (Events.Delivered { id; via = `Repair });
+          t.mh_delivered := !(t.mh_delivered) + 1;
+          if t.observing then emit t (Events.Delivered { id; via = `Repair });
           relay_to_waiters t payload
         end;
         ignore (Buffer.insert t.buffer ~phase:Buffer.Long_term payload);
-        emit t (Events.Buffered { id; phase = Buffer.Long_term })
+        if t.observing then emit t (Events.Buffered { id; phase = Buffer.Long_term })
       end)
     payloads
 
@@ -634,11 +696,16 @@ let handle_delivery t (delivery : Wire.t Network.delivery) =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~net ~config ~rng ~node ?observer () =
+let create ~net ~config ~rng ~node ?observer ?metrics () =
   (match Config.validate config with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Member.create: " ^ msg));
   let view = View.create (Network.topology net) ~owner:node in
+  let mh name =
+    match metrics with
+    | None -> Metrics.null_handle ()
+    | Some m -> Metrics.handle m name
+  in
   let t =
     {
       net;
@@ -650,9 +717,11 @@ let create ~net ~config ~rng ~node ?observer () =
       recv = Recv_log.create ();
       buffer = Buffer.create ~sim:(Network.sim net);
       observer;
+      observing = observer <> None;
       recoveries = Msg_id.Table.create 16;
       idle_timers = Msg_id.Table.create 16;
       lifetime_timers = Msg_id.Table.create 16;
+      rings = None;
       pending_remote = Msg_id.Table.create 8;
       searches = Msg_id.Table.create 8;
       have_announced = Msg_id.Table.create 8;
@@ -668,8 +737,17 @@ let create ~net ~config ~rng ~node ?observer () =
       session_ticker = None;
       failure_detector = None;
       rtt_estimate = Latency.intra_rtt (Network.latency net);
+      mh_delivered = mh "rrmp.delivered";
+      mh_touches = mh "rrmp.feedback_touches";
+      mh_discarded = mh "rrmp.discarded";
     }
   in
+  if config.Config.deadline_quantum > 0.0 then begin
+    let q = config.Config.deadline_quantum in
+    let idle = Ring.create t.sim ~quantum:q ~on_expire:(fun id -> become_idle t id) in
+    let lifetime = Ring.create t.sim ~quantum:q ~on_expire:(fun id -> lifetime_expired t id) in
+    t.rings <- Some (idle, lifetime)
+  end;
   Network.register net node (handle_delivery t);
   (match config.Config.buffering with
    | Config.Stability { exchange_interval; _ } ->
@@ -708,9 +786,10 @@ let own_send_bookkeeping t payload =
   let id = Payload.id payload in
   ignore (Recv_log.note_data t.recv id);
   t.delivered <- t.delivered + 1;
+  t.mh_delivered := !(t.mh_delivered) + 1;
   if Buffer.insert t.buffer ~phase:Buffer.Short_term payload then begin
     start_retention t id;
-    emit t (Events.Buffered { id; phase = Buffer.Short_term })
+    if t.observing then emit t (Events.Buffered { id; phase = Buffer.Short_term })
   end
 
 let multicast t ?size () =
@@ -754,6 +833,11 @@ let searching t id = Msg_id.Table.mem t.searches id
 (* ------------------------------------------------------------------ *)
 
 let stop_all_timers t =
+  (match t.rings with
+   | Some (idle, lifetime) ->
+     Ring.clear idle;
+     Ring.clear lifetime
+   | None -> ());
   Msg_id.Table.iter (fun _ timer -> Timer.Idle.stop timer) t.idle_timers;
   Msg_id.Table.reset t.idle_timers;
   Msg_id.Table.iter (fun _ timer -> Timer.Idle.stop timer) t.lifetime_timers;
@@ -807,7 +891,8 @@ let leave t =
       (Buffer.long_term_payloads t.buffer);
     Node_id.Table.iter
       (fun target batch ->
-        emit t (Events.Handoff_sent { to_ = target; count = List.length !batch });
+        if t.observing then
+          emit t (Events.Handoff_sent { to_ = target; count = List.length !batch });
         send t ~dst:target (Wire.Handoff (List.rev !batch)))
       by_target;
     stop_all_timers t;
@@ -825,6 +910,11 @@ let crash t =
 (* ------------------------------------------------------------------ *)
 (* Experiment state injection                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* process a delivery as if the network had just handed it over,
+   bypassing latency/loss/traffic counters: allocation tests and custom
+   harnesses drive the receive path directly with a preallocated record *)
+let inject_delivery t delivery = handle_delivery t delivery
 
 (* ------------------------------------------------------------------ *)
 (* Failure detection (the gossip-style detector RRMP builds on)        *)

@@ -29,10 +29,22 @@ val create :
   rng:Engine.Rng.t ->
   node:Node_id.t ->
   ?observer:Events.observer ->
+  ?metrics:Tracing.Metrics.t ->
   unit ->
   t
 (** Registers the member's handler on [net]. [rng] should be a
     {!Engine.Rng.split} of the experiment generator, one per member.
+
+    Without [observer], no {!Events.t} value is ever constructed: every
+    emission site is gated on the subscription, so the delivery and
+    feedback hot paths stay allocation-free. [metrics], when given,
+    receives [rrmp.delivered] / [rrmp.feedback_touches] /
+    [rrmp.discarded] counters through pre-resolved handles.
+
+    With {!Config.t.deadline_quantum} positive, the member's idle and
+    lifetime deadlines live in two coalesced {!Engine.Dring}s instead
+    of per-message {!Engine.Timer.Idle} instances; see the config field
+    for the trade-off.
     @raise Invalid_argument if [node] is not in the network's topology
     or the config fails {!Config.validate}. *)
 
@@ -131,3 +143,9 @@ val force_received : t -> Protocol.Msg_id.t -> unit
 val force_buffer : t -> phase:Buffer.phase -> Payload.t -> unit
 (** Mark as received and place it in the buffer in the given phase
     (short-term entries get a fresh idle timer). *)
+
+val inject_delivery : t -> Wire.t Netsim.Network.delivery -> unit
+(** Process a delivery exactly as if it had just arrived from the
+    network, bypassing latency, loss and traffic counters. Allocation
+    tests drive the receive path in a tight loop with a preallocated
+    record; not for use where network accounting matters. *)

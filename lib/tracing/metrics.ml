@@ -5,6 +5,10 @@ type t = {
 
 let create () = { counter_table = Hashtbl.create 32; gauge_table = Hashtbl.create 32 }
 
+type handle = int ref
+
+type gauge_handle = float ref
+
 let counter_ref t name =
   match Hashtbl.find_opt t.counter_table name with
   | Some r -> r
@@ -16,6 +20,17 @@ let counter_ref t name =
 let incr ?(by = 1) t name =
   let r = counter_ref t name in
   r := !r + by
+
+(* Pre-resolved handles: the name is hashed once here; per-event incr
+   through the handle is a bare ref bump with no table lookup. *)
+let handle t name = counter_ref t name
+
+let[@inline] incr_handle ?(by = 1) r = r := !r + by
+
+(* a sink that is not registered anywhere: lets callers keep a single
+   unconditional incr on the hot path even when no registry is
+   attached *)
+let null_handle () = ref 0
 
 let counter t name = match Hashtbl.find_opt t.counter_table name with Some r -> !r | None -> 0
 
@@ -30,6 +45,14 @@ let gauge_ref t name ~init =
 let set_gauge t name v =
   let r = gauge_ref t name ~init:v in
   r := v
+
+let gauge_handle ?(init = 0.0) t name = gauge_ref t name ~init
+
+let set_gauge_handle (r : gauge_handle) v = r := v
+
+let add_gauge_handle (r : gauge_handle) v = r := !r +. v
+
+let null_gauge_handle () = ref 0.0
 
 let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauge_table name)
 

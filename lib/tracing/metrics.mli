@@ -10,6 +10,33 @@ val create : unit -> t
 val incr : ?by:int -> t -> string -> unit
 (** Bump a counter, creating it at zero first if needed. *)
 
+type handle = int ref
+(** A pre-resolved counter: the name is hashed once at {!handle} time,
+    so per-event increments on packet-rate paths do no string hashing
+    and no table lookup. *)
+
+val handle : t -> string -> handle
+(** Resolve (creating at zero if needed) a counter for repeated
+    increments. The handle stays live across {!reset} only until the
+    registry is reset — re-resolve after a reset. *)
+
+val incr_handle : ?by:int -> handle -> unit
+
+val null_handle : unit -> handle
+(** A fresh sink registered nowhere: hot paths can keep one
+    unconditional [incr_handle] instead of branching on whether a
+    registry is attached. *)
+
+type gauge_handle = float ref
+
+val gauge_handle : ?init:float -> t -> string -> gauge_handle
+
+val set_gauge_handle : gauge_handle -> float -> unit
+
+val add_gauge_handle : gauge_handle -> float -> unit
+
+val null_gauge_handle : unit -> gauge_handle
+
 val counter : t -> string -> int
 (** 0 for unknown names. *)
 

@@ -1,30 +1,61 @@
 type entry = { time : float; subject : string; event : string; detail : string }
 
+(* Detail strings are kept unformatted until first read: hot-path
+   recorders hand over a thunk, and forcing memoizes the result so
+   repeated dumps don't re-format. *)
+type detail = Formatted of string | Thunk of (unit -> string)
+
+type stored = {
+  s_time : float;
+  s_subject : string;
+  s_event : string;
+  mutable s_detail : detail;
+}
+
 type t = {
   capacity : int option;
-  filter : entry -> bool;
-  buffer : entry Queue.t;
+  filter : subject:string -> event:string -> bool;
+  buffer : stored Queue.t;
   mutable dropped : int;
 }
 
-let create ?capacity ?(filter = fun _ -> true) () =
+let create ?capacity ?(filter = fun ~subject:_ ~event:_ -> true) () =
   (match capacity with
    | Some c when c <= 0 -> invalid_arg "Tracer.create: capacity must be positive"
    | Some _ | None -> ());
   { capacity; filter; buffer = Queue.create (); dropped = 0 }
 
-let record t ~time ~subject ~event detail =
-  let entry = { time; subject; event; detail } in
-  if t.filter entry then begin
-    Queue.push entry t.buffer;
-    match t.capacity with
-    | Some c when Queue.length t.buffer > c ->
-      ignore (Queue.pop t.buffer);
-      t.dropped <- t.dropped + 1
-    | Some _ | None -> ()
-  end
+let wants t ~subject ~event = t.filter ~subject ~event
 
-let entries t = List.of_seq (Queue.to_seq t.buffer)
+let push t stored =
+  Queue.push stored t.buffer;
+  match t.capacity with
+  | Some c when Queue.length t.buffer > c ->
+    ignore (Queue.pop t.buffer);
+    t.dropped <- t.dropped + 1
+  | Some _ | None -> ()
+
+(* the filter runs on (subject, event) alone, before any entry is
+   constructed: a rejected record allocates nothing here *)
+let record t ~time ~subject ~event detail =
+  if t.filter ~subject ~event then
+    push t { s_time = time; s_subject = subject; s_event = event; s_detail = Formatted detail }
+
+let record_lazy t ~time ~subject ~event detail =
+  if t.filter ~subject ~event then
+    push t { s_time = time; s_subject = subject; s_event = event; s_detail = Thunk detail }
+
+let force s =
+  match s.s_detail with
+  | Formatted d -> d
+  | Thunk f ->
+    let d = f () in
+    s.s_detail <- Formatted d;
+    d
+
+let to_entry s = { time = s.s_time; subject = s.s_subject; event = s.s_event; detail = force s }
+
+let entries t = List.of_seq (Seq.map to_entry (Queue.to_seq t.buffer))
 
 let length t = Queue.length t.buffer
 
@@ -39,5 +70,5 @@ let pp_entry fmt e =
 
 let dump fmt t =
   Format.fprintf fmt "@[<v>";
-  Queue.iter (fun e -> Format.fprintf fmt "%a@," pp_entry e) t.buffer;
+  Queue.iter (fun s -> Format.fprintf fmt "%a@," pp_entry (to_entry s)) t.buffer;
   Format.fprintf fmt "@]"

@@ -1,19 +1,38 @@
 (** In-memory event trace for debugging protocol runs.
 
     Records (time, subject, event, detail) tuples with an optional
-    capacity bound (oldest entries dropped) and an optional filter. *)
+    capacity bound (oldest entries dropped) and an optional filter.
+
+    The recording path is built for hot loops: the filter sees only
+    [(subject, event)] and runs {e before} anything is allocated, and
+    {!record_lazy} defers detail formatting until the trace is actually
+    read (forced at most once, then memoized). *)
 
 type entry = { time : float; subject : string; event : string; detail : string }
 
 type t
 
-val create : ?capacity:int -> ?filter:(entry -> bool) -> unit -> t
-(** [capacity] bounds retained entries (unbounded by default). *)
+val create :
+  ?capacity:int -> ?filter:(subject:string -> event:string -> bool) -> unit -> t
+(** [capacity] bounds retained entries (unbounded by default). The
+    filter decides from [(subject, event)] alone so rejected records
+    cost no allocation. *)
 
 val record : t -> time:float -> subject:string -> event:string -> string -> unit
 
+val record_lazy :
+  t -> time:float -> subject:string -> event:string -> (unit -> string) -> unit
+(** Like {!record}, but the detail thunk is only forced when the trace
+    is read ({!entries}, {!dump}); the result is memoized. Use when
+    formatting the detail is the expensive part. *)
+
+val wants : t -> subject:string -> event:string -> bool
+(** Would a record with this [(subject, event)] pass the filter?
+    Callers for whom even building the arguments is expensive can
+    pre-check. *)
+
 val entries : t -> entry list
-(** Oldest first. *)
+(** Oldest first. Forces any pending lazy details. *)
 
 val length : t -> int
 

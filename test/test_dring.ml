@@ -1,0 +1,333 @@
+(* Coalesced deadline ring: unit semantics plus a qcheck lockstep suite
+   against the exact per-entry Timer.Idle implementation it replaces.
+
+   The oracle relation: an entry whose exact (Timer.Idle) deadline is
+   [te] must fire from the ring at [ceil (te / quantum) * quantum] —
+   within one quantum after [te], never before. Fires are compared as
+   per-quantum key multisets in tick order, which pins both the fire
+   set and the cross-quantum order while allowing the within-quantum
+   order to be the ring's own (insertion order). *)
+
+open Engine
+
+module Ring = Dring.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Fun.id
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Unit semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(quantum = 10.0) () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let ring =
+    Ring.create sim ~quantum ~on_expire:(fun k -> fires := (Sim.now sim, k) :: !fires)
+  in
+  (sim, ring, fun () -> List.rev !fires)
+
+let check_fires = Alcotest.(check (list (pair (float 1e-9) int)))
+
+let test_fires_quantized () =
+  let sim, ring, fires = make () in
+  Ring.add ring 1 ~timeout:25.0;  (* exact 25 -> bucket 30 *)
+  Ring.add ring 2 ~timeout:20.0;  (* tick-aligned: fires exactly at 20 *)
+  Alcotest.(check int) "armed" 2 (Ring.length ring);
+  Sim.run sim;
+  check_fires "ceil-quantum fire times" [ (20.0, 2); (30.0, 1) ] (fires ());
+  Alcotest.(check int) "drained" 0 (Ring.length ring)
+
+let test_touch_defers () =
+  let sim, ring, fires = make () in
+  Ring.add ring 7 ~timeout:25.0;
+  ignore (Sim.schedule_at sim ~at:14.0 (fun () -> Ring.touch ring 7));
+  (* new exact deadline 39 -> bucket 40; the stale bucket-30 sweep must
+     re-bucket, not fire *)
+  Sim.run sim;
+  check_fires "deferred once" [ (40.0, 7) ] (fires ())
+
+let test_touch_at_sweep_instant () =
+  let sim, ring, fires = make () in
+  Ring.add ring 3 ~timeout:20.0;
+  (* the sweep was scheduled by [add], so at the shared instant t=20 it
+     runs before the later-scheduled touch and the entry fires — the
+     same tie-break as a Timer.Idle armed at create time: activity
+     scheduled after arming loses an exact-deadline tie *)
+  ignore (Sim.schedule_at sim ~at:20.0 (fun () -> Ring.touch ring 3));
+  Sim.run sim;
+  check_fires "sweep wins its own instant" [ (20.0, 3) ] (fires ());
+  (* whereas activity scheduled before the deadline's bucket existed
+     runs first and defers: the touch event here predates the add *)
+  let sim2, ring2, fires2 = make () in
+  ignore (Sim.schedule_at sim2 ~at:20.0 (fun () -> Ring.touch ring2 3));
+  ignore (Sim.schedule_at sim2 ~at:0.0 (fun () -> Ring.add ring2 3 ~timeout:20.0));
+  Sim.run sim2;
+  check_fires "earlier-scheduled touch defers" [ (40.0, 3) ] (fires2 ())
+
+let test_stop_prevents () =
+  let sim, ring, fires = make () in
+  Ring.add ring 1 ~timeout:15.0;
+  Ring.add ring 2 ~timeout:15.0;
+  ignore (Sim.schedule_at sim ~at:5.0 (fun () -> Ring.stop ring 1));
+  Sim.run sim;
+  check_fires "only the live entry fires" [ (20.0, 2) ] (fires ());
+  Alcotest.(check bool) "stopped key unknown" false (Ring.mem ring 1);
+  (* stopping or touching unknown keys is a no-op *)
+  Ring.stop ring 99;
+  Ring.touch ring 99
+
+let test_re_add_replaces () =
+  let sim, ring, fires = make () in
+  Ring.add ring 1 ~timeout:15.0;
+  Ring.add ring 1 ~timeout:42.0;  (* replaces: exact 42 -> bucket 50 *)
+  Alcotest.(check int) "one armed entry" 1 (Ring.length ring);
+  Sim.run sim;
+  check_fires "fires once, at the replacement deadline" [ (50.0, 1) ] (fires ())
+
+let test_re_add_from_on_expire () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let ring = ref None in
+  let r =
+    Ring.create sim ~quantum:10.0 ~on_expire:(fun k ->
+        fires := (Sim.now sim, k) :: !fires;
+        if List.length !fires = 1 then Ring.add (Option.get !ring) k ~timeout:15.0)
+  in
+  ring := Some r;
+  Ring.add r 1 ~timeout:5.0;
+  Sim.run sim;
+  check_fires "re-armed from the expiry callback" [ (10.0, 1); (30.0, 1) ]
+    (List.rev !fires)
+
+let test_clear_cancels () =
+  let sim, ring, fires = make () in
+  for k = 0 to 9 do
+    Ring.add ring k ~timeout:(float_of_int ((k + 1) * 7))
+  done;
+  Ring.clear ring;
+  Sim.run sim;
+  check_fires "nothing fires after clear" [] (fires ());
+  Alcotest.(check int) "no sweeps left" 0 (Ring.pending_sweeps ring);
+  Alcotest.(check int) "no entries left" 0 (Ring.length ring)
+
+let test_sweep_coalescing () =
+  let sim, ring, _ = make () in
+  (* 100 entries, deadlines spread over 10 quanta -> at most 10 sweeps *)
+  for k = 0 to 99 do
+    Ring.add ring k ~timeout:(float_of_int (1 + k))
+  done;
+  Alcotest.(check int) "all armed" 100 (Ring.length ring);
+  Alcotest.(check bool) "sweeps coalesced"
+    true
+    (Ring.pending_sweeps ring <= 10);
+  Sim.run sim
+
+let test_invalid_args () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "quantum must be positive"
+    (Invalid_argument "Dring.create: quantum must be positive") (fun () ->
+      ignore (Ring.create sim ~quantum:0.0 ~on_expire:ignore));
+  let ring = Ring.create sim ~quantum:10.0 ~on_expire:ignore in
+  Alcotest.check_raises "timeout must be positive"
+    (Invalid_argument "Dring.add: timeout must be positive") (fun () ->
+      Ring.add ring 1 ~timeout:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck lockstep vs the Timer.Idle oracle                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An op is (dt, kind, key, timeout): advance the op clock by [dt] ms,
+   then Add / Touch / Stop [key]. All times are integers, so quantized
+   ticks are computed exactly on both sides.
+
+   The oracle is one Timer.Idle per armed key, driven eagerly: touch =
+   cancel + re-arm — the per-message-timer implementation the ring
+   replaces. It runs in two modes:
+
+   - [quantize = Some q]: each arm rounds its deadline up to the next
+     quantum boundary (deadline = ceil ((now + timeout) / q) * q).
+     This is the ring's documented contract, so ring and oracle must
+     produce identical fire times with identical per-quantum key
+     multisets, for arbitrary op interleavings.
+
+   - [quantize = None]: exact deadlines. Equivalence then holds only
+     when no op lands inside an entry's lag window (after its exact
+     deadline, before its bucket boundary) — there the exact oracle
+     has already fired while the ring still holds the entry, and a
+     re-add legitimately diverges (it replaces the pending entry
+     instead of arming a second timer). Tick-aligned workloads have
+     empty lag windows, so the drivers are fed tick-aligned times when
+     comparing against the exact oracle: the ring must then be
+     indistinguishable from per-message Timer.Idle, fire times
+     included. *)
+
+(* qcheck's int shrinker can step outside int_range's lower bound, so
+   the drivers clamp rather than let [add] reject mid-shrink *)
+let clamp_timeout timeout = max 1 timeout
+
+let run_ring ~quantum ops =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let ring =
+    Ring.create sim ~quantum ~on_expire:(fun k -> fires := (Sim.now sim, k) :: !fires)
+  in
+  let time = ref 0.0 in
+  List.iter
+    (fun (dt, kind, key, timeout) ->
+      let timeout = clamp_timeout timeout in
+      time := !time +. float_of_int (max 0 dt);
+      ignore
+        (Sim.schedule_at sim ~at:!time (fun () ->
+             match kind with
+             | 0 -> Ring.add ring key ~timeout:(float_of_int timeout)
+             | 1 -> Ring.touch ring key
+             | _ -> Ring.stop ring key)))
+    ops;
+  Sim.run sim;
+  (List.rev !fires, Ring.length ring)
+
+let run_oracle ?quantize ops =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  (* armed key -> (its timer, its base quiet period) *)
+  let timers : (int, Timer.Idle.t * float) Hashtbl.t = Hashtbl.create 8 in
+  let drop key =
+    match Hashtbl.find_opt timers key with
+    | Some (t, _) ->
+      Timer.Idle.stop t;
+      Hashtbl.remove timers key
+    | None -> ()
+  in
+  (* delay until the (possibly quantized) deadline of a quiet period
+     starting now *)
+  let delay_of timeout =
+    match quantize with
+    | None -> timeout
+    | Some q ->
+      let deadline = Float.ceil ((Sim.now sim +. timeout) /. q) *. q in
+      deadline -. Sim.now sim
+  in
+  let arm key timeout =
+    drop key;
+    let t =
+      Timer.Idle.create sim ~timeout:(delay_of timeout) ~on_idle:(fun () ->
+          Hashtbl.remove timers key;
+          fires := (Sim.now sim, key) :: !fires)
+    in
+    Hashtbl.replace timers key (t, timeout)
+  in
+  let time = ref 0.0 in
+  List.iter
+    (fun (dt, kind, key, timeout) ->
+      let timeout = clamp_timeout timeout in
+      time := !time +. float_of_int (max 0 dt);
+      ignore
+        (Sim.schedule_at sim ~at:!time (fun () ->
+             match kind with
+             | 0 -> arm key (float_of_int timeout)
+             | 1 ->
+               (match Hashtbl.find_opt timers key with
+                | Some (t, base) ->
+                  (match quantize with
+                   | None -> Timer.Idle.touch t
+                   | Some _ ->
+                     (* the quantized delay depends on absolute time, so
+                        an eager touch is a full re-arm *)
+                     arm key base)
+                | None -> ())
+             | _ -> drop key)))
+    ops;
+  Sim.run sim;
+  (List.rev !fires, Hashtbl.length timers)
+
+let tick_of ~quantum at = int_of_float (Float.ceil (at /. quantum))
+
+let show_fires fires =
+  String.concat "; "
+    (List.map (fun (at, key) -> Printf.sprintf "(%g,%d)" at key) fires)
+
+(* Both sides fire on quantum boundaries (quantized oracle) or on the
+   identical exact instants (tick-aligned ops), so sorted (time, key)
+   multiset equality is the full lockstep relation; sorting deliberately
+   forgets the within-instant order, which is insertion order for the
+   ring and arm order for the eager oracle. *)
+let compare_runs ~quantum (ring_fires, ring_left) (oracle_fires, oracle_left) =
+  if ring_left <> 0 || oracle_left <> 0 then
+    QCheck.Test.fail_reportf "entries left armed: ring %d, oracle %d" ring_left
+      oracle_left;
+  (* every ring fire lands exactly on its bucket boundary *)
+  List.iter
+    (fun (at, key) ->
+      let boundary = float_of_int (tick_of ~quantum at) *. quantum in
+      if at <> boundary then
+        QCheck.Test.fail_reportf "key %d fired off-quantum at %g" key at)
+    ring_fires;
+  let ring_s = List.sort compare ring_fires in
+  let oracle_s = List.sort compare oracle_fires in
+  if ring_s <> oracle_s then
+    QCheck.Test.fail_reportf "fire sets diverge:@ ring [%s]@ oracle [%s]"
+      (show_fires ring_s) (show_fires oracle_s);
+  true
+
+let lockstep_quantized_prop ~quantum ops =
+  compare_runs ~quantum (run_ring ~quantum ops) (run_oracle ~quantize:quantum ops)
+
+(* tick-aligned times: every dt and timeout a multiple of the quantum,
+   where the ring must match the EXACT Timer.Idle oracle, fire instants
+   included *)
+let lockstep_exact_prop ~quantum_i ops =
+  let ops =
+    List.map
+      (fun (dt, kind, key, timeout) ->
+        (max 0 dt * quantum_i, kind, key, clamp_timeout timeout * quantum_i))
+      ops
+  in
+  let quantum = float_of_int quantum_i in
+  compare_runs ~quantum (run_ring ~quantum ops) (run_oracle ops)
+
+let ops_arb =
+  QCheck.(
+    list_of_size Gen.(int_range 1 80)
+      (quad (int_bound 25) (int_bound 2) (int_bound 7) (int_range 1 80)))
+
+let qcheck_lockstep =
+  QCheck.Test.make ~name:"ring = quantized Timer.Idle oracle (q=10)" ~count:1_000
+    ops_arb
+    (lockstep_quantized_prop ~quantum:10.0)
+
+let qcheck_lockstep_coarse =
+  QCheck.Test.make ~name:"ring = quantized Timer.Idle oracle (q=7)" ~count:300 ops_arb
+    (lockstep_quantized_prop ~quantum:7.0)
+
+let qcheck_lockstep_aligned =
+  QCheck.Test.make ~name:"ring = exact Timer.Idle oracle, tick-aligned (q=10)"
+    ~count:500 ops_arb
+    (lockstep_exact_prop ~quantum_i:10)
+
+let qcheck_lockstep_fine =
+  QCheck.Test.make ~name:"ring = exact Timer.Idle oracle, tick-aligned (q=1)"
+    ~count:300 ops_arb
+    (lockstep_exact_prop ~quantum_i:1)
+
+let suites =
+  [
+    ( "engine.deadline_ring",
+      [
+        Alcotest.test_case "fires at ceil-quantum" `Quick test_fires_quantized;
+        Alcotest.test_case "touch defers" `Quick test_touch_defers;
+        Alcotest.test_case "touch at sweep instant" `Quick test_touch_at_sweep_instant;
+        Alcotest.test_case "stop prevents" `Quick test_stop_prevents;
+        Alcotest.test_case "re-add replaces" `Quick test_re_add_replaces;
+        Alcotest.test_case "re-add from on_expire" `Quick test_re_add_from_on_expire;
+        Alcotest.test_case "clear cancels" `Quick test_clear_cancels;
+        Alcotest.test_case "sweep coalescing" `Quick test_sweep_coalescing;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        QCheck_alcotest.to_alcotest qcheck_lockstep;
+        QCheck_alcotest.to_alcotest qcheck_lockstep_coarse;
+        QCheck_alcotest.to_alcotest qcheck_lockstep_aligned;
+        QCheck_alcotest.to_alcotest qcheck_lockstep_fine;
+      ] );
+  ]

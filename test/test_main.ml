@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_engine.suites;
+         Test_dring.suites;
          Test_stats.suites;
          Test_topology.suites;
          Test_netsim.suites;

@@ -760,3 +760,111 @@ let tracing_suite =
   ("rrmp.tracing", [ Alcotest.test_case "tracing observer" `Quick test_tracing_observer ])
 
 let suites = suites @ [ tracing_suite ]
+
+(* ------------------------------------------------------------------ *)
+(* Allocation discipline on the gated hot path                         *)
+(* ------------------------------------------------------------------ *)
+
+(* With deadline rings armed and neither observer nor metrics attached,
+   processing a duplicate regional repair — the feedback op that
+   dominates large-group recovery traffic: length-guarded regional
+   suppression, windowed duplicate check, two ring touches — must
+   allocate NOTHING on the minor heap. This is the tentpole's
+   "allocation-free event emission" claim made mechanically checkable:
+   any ungated [emit], [Some]-allocating table probe, or boxed-float
+   write on the path shows up as a nonzero word delta. *)
+
+let test_zero_alloc_duplicate_feedback () =
+  let config =
+    {
+      Config.default with
+      Config.deadline_quantum = 10.0;
+      long_term_lifetime = Some 1.0e6;
+    }
+  in
+  let topology = Topology.single_region ~size:4 in
+  let group = Group.create ~seed:3 ~config ~topology () in
+  let id = Group.multicast group () in
+  Group.run ~until:6.0 group;
+  (* everyone holds the body now; a re-delivered regional repair is a
+     pure feedback touch *)
+  let m = Group.member group (Node_id.of_int 1) in
+  Alcotest.(check bool) "body delivered" true (Member.has_received m id);
+  let delivery =
+    {
+      Network.src = Node_id.of_int 2;
+      Network.dst = Node_id.of_int 1;
+      Network.msg = Rrmp.Wire.Regional_repair (Payload.make id);
+      Network.sent_at = 0.0;
+      Network.cls = "repair";
+    }
+  in
+  for _ = 1 to 10 do
+    Member.inject_delivery m delivery
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1_000 do
+    Member.inject_delivery m delivery
+  done;
+  let words = Gc.minor_words () -. w0 in
+  Alcotest.(check (float 0.0)) "zero minor words per duplicate" 0.0 words
+
+(* the same deterministic run allocates strictly more once an observer
+   is attached: every emit site constructs its event record only when
+   someone is listening *)
+let test_emission_gating_saves_allocation () =
+  let run ~observer () =
+    let topology = Topology.single_region ~size:20 in
+    let w0 = Gc.minor_words () in
+    let group = Group.create ~seed:9 ?observer ~topology () in
+    for _ = 1 to 5 do
+      ignore (Group.multicast group ())
+    done;
+    Group.run group;
+    Gc.minor_words () -. w0
+  in
+  let silent = run ~observer:None () in
+  let observed = run ~observer:(Some (fun ~time:_ ~self:_ _ -> ())) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "observer costs allocation (%.0f < %.0f)" silent observed)
+    true
+    (silent < observed)
+
+(* member-level ring/legacy parity: identical delivery outcome and a
+   fully drained buffer either way, the rings merely firing later
+   within their quantum *)
+let test_ring_and_legacy_members_agree () =
+  let run quantum =
+    let config =
+      {
+        Config.default with
+        Config.deadline_quantum = quantum;
+        long_term_lifetime = Some 200.0;
+      }
+    in
+    let topology = Topology.chain ~sizes:[ 10; 10 ] in
+    let group = Group.create ~seed:11 ~config ~topology () in
+    let id =
+      Group.multicast_reaching group ~reach:(fun n -> Node_id.to_int n < 10) ()
+    in
+    Group.run group;
+    (Group.count_received group id, Group.total_buffered_messages group)
+  in
+  let legacy_received, legacy_buffered = run 0.0 in
+  let ring_received, ring_buffered = run 10.0 in
+  Alcotest.(check int) "all members recover either way" legacy_received ring_received;
+  Alcotest.(check int) "legacy buffers drain" 0 legacy_buffered;
+  Alcotest.(check int) "ring buffers drain" 0 ring_buffered
+
+let alloc_suite =
+  ( "rrmp.allocation",
+    [
+      Alcotest.test_case "zero-alloc duplicate feedback" `Quick
+        test_zero_alloc_duplicate_feedback;
+      Alcotest.test_case "emission gating saves allocation" `Quick
+        test_emission_gating_saves_allocation;
+      Alcotest.test_case "ring/legacy member parity" `Quick
+        test_ring_and_legacy_members_agree;
+    ] )
+
+let suites = suites @ [ alloc_suite ]

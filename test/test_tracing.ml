@@ -82,12 +82,64 @@ let test_tracer_capacity () =
 
 let test_tracer_filter () =
   let t =
-    Tracer.create ~filter:(fun e -> e.Tracer.event = "keep") ()
+    Tracer.create ~filter:(fun ~subject:_ ~event -> event = "keep") ()
   in
   Tracer.record t ~time:0.0 ~subject:"s" ~event:"keep" "";
   Tracer.record t ~time:0.0 ~subject:"s" ~event:"drop" "";
   Alcotest.(check int) "filtered" 1 (Tracer.length t);
-  Alcotest.(check int) "filtered not counted as dropped" 0 (Tracer.dropped t)
+  Alcotest.(check int) "filtered not counted as dropped" 0 (Tracer.dropped t);
+  Alcotest.(check bool) "wants mirrors the filter" true
+    (Tracer.wants t ~subject:"s" ~event:"keep"
+    && not (Tracer.wants t ~subject:"s" ~event:"drop"))
+
+let test_tracer_lazy_detail () =
+  let forced = ref 0 in
+  let t = Tracer.create ~filter:(fun ~subject:_ ~event -> event = "keep") () in
+  Tracer.record_lazy t ~time:0.0 ~subject:"s" ~event:"keep" (fun () ->
+      incr forced;
+      "expensive");
+  Tracer.record_lazy t ~time:1.0 ~subject:"s" ~event:"drop" (fun () ->
+      Alcotest.fail "filtered-out detail must never be formatted");
+  Alcotest.(check int) "not formatted until read" 0 !forced;
+  (match Tracer.entries t with
+   | [ e ] -> Alcotest.(check string) "formatted on read" "expensive" e.Tracer.detail
+   | _ -> Alcotest.fail "expected one entry");
+  ignore (Tracer.entries t);
+  Alcotest.(check int) "memoized: formatted exactly once" 1 !forced
+
+let test_tracer_lazy_capacity_drop () =
+  (* an entry evicted by the capacity bound before any read is never
+     formatted *)
+  let forced = ref 0 in
+  let t = Tracer.create ~capacity:1 () in
+  Tracer.record_lazy t ~time:0.0 ~subject:"s" ~event:"e" (fun () ->
+      incr forced;
+      "old");
+  Tracer.record_lazy t ~time:1.0 ~subject:"s" ~event:"e" (fun () ->
+      incr forced;
+      "new");
+  (match Tracer.entries t with
+   | [ e ] -> Alcotest.(check string) "survivor formatted" "new" e.Tracer.detail
+   | _ -> Alcotest.fail "expected one entry");
+  Alcotest.(check int) "evicted entry never formatted" 1 !forced
+
+let test_metrics_handles () =
+  let m = Metrics.create () in
+  let h = Metrics.handle m "hits" in
+  Metrics.incr_handle h;
+  Metrics.incr_handle ~by:3 h;
+  Metrics.incr m "hits";
+  Alcotest.(check int) "handle and name share the counter" 5 (Metrics.counter m "hits");
+  Alcotest.(check bool) "handle is stable" true (Metrics.handle m "hits" == h);
+  let g = Metrics.gauge_handle m "level" in
+  Metrics.set_gauge_handle g 2.0;
+  Metrics.add_gauge_handle g 0.5;
+  Alcotest.(check (option (float 1e-9))) "gauge via handle" (Some 2.5)
+    (Metrics.gauge m "level");
+  let sink = Metrics.null_handle () in
+  Metrics.incr_handle sink;
+  Alcotest.(check (list (pair string int))) "null handle registers nowhere"
+    [ ("hits", 5) ] (Metrics.counters m)
 
 let suites =
   [
@@ -96,6 +148,7 @@ let suites =
         Alcotest.test_case "counters" `Quick test_metrics_counters;
         Alcotest.test_case "gauges" `Quick test_metrics_gauges;
         Alcotest.test_case "reset" `Quick test_metrics_reset;
+        Alcotest.test_case "handles" `Quick test_metrics_handles;
       ] );
     ( "tracing.csv",
       [
@@ -108,5 +161,7 @@ let suites =
         Alcotest.test_case "records" `Quick test_tracer_records;
         Alcotest.test_case "capacity" `Quick test_tracer_capacity;
         Alcotest.test_case "filter" `Quick test_tracer_filter;
+        Alcotest.test_case "lazy detail" `Quick test_tracer_lazy_detail;
+        Alcotest.test_case "lazy capacity drop" `Quick test_tracer_lazy_capacity_drop;
       ] );
   ]
