@@ -172,14 +172,19 @@ let multicast_reaching t ?size ~reach () =
 let run ?until ?max_events t = Sim.run ?until ?max_events t.sim
 
 let stop_gossip t =
-  Node_id.Table.iter
-    (fun _ m ->
+  (* stop tickers in node order so teardown is deterministic *)
+  let members =
+    Node_id.Table.fold (fun node m acc -> (node, m) :: acc) t.members []
+    |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+  in
+  List.iter
+    (fun (_, m) ->
       match m.ticker with
       | Some ticker ->
         Engine.Timer.Periodic.stop ticker;
         m.ticker <- None
       | None -> ())
-    t.members
+    members
 
 let members t = Array.to_list (Topology.all_nodes t.topology)
 

@@ -98,7 +98,13 @@ module Make (Key : Hashtbl.HashedType) = struct
     | exception Not_found -> ()
 
   let clear t =
-    Hashtbl.iter (fun _ b -> Sim.cancel b.handle) t.buckets;
+    (* teardown is deterministic by construction: sweeps are cancelled
+       in tick order, never in hash-layout order *)
+    let sweeps =
+      Hashtbl.fold (fun tick b acc -> (tick, b) :: acc) t.buckets []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    List.iter (fun (_, b) -> Sim.cancel b.handle) sweeps;
     Hashtbl.reset t.buckets;
     Tbl.reset t.entries
 

@@ -326,9 +326,13 @@ let stats t ~cls =
 let classes t =
   Hashtbl.fold (fun cls _ acc -> cls :: acc) t.counters [] |> List.sort String.compare
 
-let total_sent t = Hashtbl.fold (fun _ c acc -> acc + c.m_sent) t.counters 0
+let[@lint.allow "D2 integer sum over all classes is commutative; order cannot escape"]
+    total_sent t =
+  Hashtbl.fold (fun _ c acc -> acc + c.m_sent) t.counters 0
 
-let total_delivered t = Hashtbl.fold (fun _ c acc -> acc + c.m_delivered) t.counters 0
+let[@lint.allow "D2 integer sum over all classes is commutative; order cannot escape"]
+    total_delivered t =
+  Hashtbl.fold (fun _ c acc -> acc + c.m_delivered) t.counters 0
 
 let reset_stats t =
   Hashtbl.reset t.counters;

@@ -14,7 +14,10 @@ let compare a b =
   let c = Node_id.compare a.source b.source in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let hash t = Hashtbl.hash (Node_id.to_int t.source, t.seq)
+(* explicit FNV-style mix: independent of value layout and stable
+   across runs and compiler versions (the polymorphic [Hashtbl.hash]
+   is banned by lint rule D1) *)
+let hash t = ((Node_id.to_int t.source * 0x01000193) lxor t.seq) land max_int
 
 let pp fmt t = Format.fprintf fmt "%a#%d" Node_id.pp t.source t.seq
 

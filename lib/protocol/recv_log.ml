@@ -43,11 +43,13 @@ let note_repaired t id =
 
 let received t id = Gap_detect.received (detector t (Msg_id.source id)) (Msg_id.seq id)
 
-let fold f t init =
+let[@lint.allow
+     "D2 generic per-source fold: every exported consumer either sorts the result \
+      (missing, sources, digest) or accumulates commutatively (counts)"] fold f t init =
   Node_id.Table.fold (fun source d acc -> f source d acc) t.per_source init
 
 let missing t =
-  fold (fun source d acc -> ids_of source (Gap_detect.missing d) @ acc) t []
+  fold (fun source d acc -> List.rev_append (ids_of source (Gap_detect.missing d)) acc) t []
   |> List.sort Msg_id.compare
 
 let missing_count t = fold (fun _ d acc -> acc + Gap_detect.missing_count d) t 0

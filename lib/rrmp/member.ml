@@ -649,7 +649,8 @@ let handle_handoff t payloads ~src =
       let id = Payload.id payload in
       if Buffer.mem t.buffer id then begin
         (* we already buffer it: take over the long-term role *)
-        if Buffer.phase_of t.buffer id = Some Buffer.Short_term then begin
+        match Buffer.phase_of t.buffer id with
+        | Some Buffer.Short_term ->
           cancel_idle t id;
           (* cancel_idle can fire a pending discard, so the entry may
              be gone by now: promotion of an absent id is a no-op *)
@@ -657,7 +658,7 @@ let handle_handoff t payloads ~src =
             if t.observing then emit t (Events.Promoted_long_term id)
           end
           else if t.observing then emit t (Events.Promotion_skipped id)
-        end
+        | Some Buffer.Long_term | None -> ()
       end
       else begin
         if Recv_log.note_repaired t.recv id then begin
@@ -699,7 +700,9 @@ let handle_delivery t (delivery : Wire.t Network.delivery) =
 let create ~net ~config ~rng ~node ?observer ?metrics () =
   (match Config.validate config with
    | Ok () -> ()
-   | Error msg -> invalid_arg ("Member.create: " ^ msg));
+   | Error msg ->
+     invalid_arg ("Member.create: " ^ msg)
+       [@lint.allow "H1 construction-time error path: raises before any hot op runs"]);
   let view = View.create (Network.topology net) ~owner:node in
   let mh name =
     match metrics with
@@ -832,7 +835,9 @@ let searching t id = Msg_id.Table.mem t.searches id
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let stop_all_timers t =
+let[@lint.allow
+     "D2 teardown cancels are order-insensitive: Sim.cancel and Timer stops only \
+      lazy-invalidate handles and emit no observable event"] stop_all_timers t =
   (match t.rings with
    | Some (idle, lifetime) ->
      Ring.clear idle;
@@ -889,12 +894,19 @@ let leave t =
           in
           batch := payload :: !batch)
       (Buffer.long_term_payloads t.buffer);
-    Node_id.Table.iter
-      (fun target batch ->
+    (* handoffs hit the network: send in target order, not in the
+       hashtable's layout order, so seeded runs cannot depend on the
+       id hash function *)
+    let targets =
+      Node_id.Table.fold (fun target batch acc -> (target, batch) :: acc) by_target []
+      |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+    in
+    List.iter
+      (fun (target, batch) ->
         if t.observing then
           emit t (Events.Handoff_sent { to_ = target; count = List.length !batch });
         send t ~dst:target (Wire.Handoff (List.rev !batch)))
-      by_target;
+      targets;
     stop_all_timers t;
     Network.unregister t.net t.node;
     t.alive <- false

@@ -1,0 +1,17 @@
+(** RRMP — the Randomized Reliable Multicast Protocol with the
+    two-phase buffer management of "Optimizing Buffer Management for
+    Reliable Multicast" (Xiao, Birman & van Renesse, DSN 2002).
+
+    Start with {!Group} (whole sessions) or {!Member} (single nodes);
+    tune parameters through {!Config}; observe behaviour through
+    {!Events}. *)
+
+module Config = Config
+module Payload = Payload
+module Wire = Wire
+module Buffer = Buffer
+module Long_term = Long_term
+module Model = Model
+module Events = Events
+module Member = Member
+module Group = Group

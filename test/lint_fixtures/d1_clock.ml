@@ -1,0 +1,6 @@
+(* lint fixture: D1 must fire on ambient PRNG and clock reads *)
+let jitter () = Random.int 10
+
+let stamp () = Sys.time ()
+
+let layout x = Hashtbl.hash x

@@ -1,0 +1,8 @@
+(* lint fixture: D2 fires on an escaping Hashtbl.fold, stays quiet on
+   one that is piped straight into a sort *)
+let escaping tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let sorted tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let sorted_direct tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

@@ -1,0 +1,8 @@
+(* lint fixture: D3 fires on polymorphic structure over protocol data *)
+let phase_is_short b = b = Some 0
+
+let order a b = compare a b
+
+let table () = Hashtbl.create 16
+
+let same_id id other = id = other

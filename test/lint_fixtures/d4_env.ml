@@ -1,0 +1,2 @@
+(* lint fixture: D4 fires on ambient environment reads *)
+let jobs () = Sys.getenv_opt "REPRO_JOBS"

@@ -1,0 +1,4 @@
+(* lint fixture: H1 fires on allocation hazards in a hot-listed module *)
+let join a b = a @ b
+
+let label n = Printf.sprintf "entry-%d" n

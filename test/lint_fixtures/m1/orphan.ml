@@ -1,0 +1,2 @@
+(* lint fixture: M1 fires — no sibling .mli *)
+let lonely = ()

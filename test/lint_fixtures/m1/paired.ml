@@ -1,0 +1,2 @@
+(* lint fixture: M1 stays quiet — paired.mli exists *)
+let visible = 1

@@ -1,0 +1,5 @@
+(* lint fixture: S1 fires on suppressions without a valid rule id or
+   justification *)
+let bogus_rule = (1 + 1) [@lint.allow "Z9 no such rule"]
+
+let no_reason = (2 + 2) [@lint.allow "D1"]

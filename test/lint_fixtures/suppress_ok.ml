@@ -1,0 +1,3 @@
+(* lint fixture: a well-formed [@lint.allow] clears the finding and
+   lands in the audit trail *)
+let jitter () = (Random.int 10 [@lint.allow "D1 fixture: deliberately audited draw"])

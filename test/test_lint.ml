@@ -1,0 +1,138 @@
+(* Tests for rrmp_lint (tools/lint): each rule proven to fire on a
+   fixture file with the right rule id and line, suppression and
+   sorted-context clearing proven to work, and the real lib/ tree
+   proven clean against the committed lint.toml. *)
+
+module Lint = Lint_core
+module Config = Lint_core.Config
+
+(* `dune runtest` runs this from _build/default/test (the fixtures
+   directory is a dep of the test stanza); `dune exec` runs it from the
+   workspace root — resolve both *)
+let fixture_root = if Sys.file_exists "lint_fixtures" then "." else "test"
+
+let repo_root = if Sys.file_exists "lint.toml" then "." else ".."
+
+let fcfg =
+  {
+    Config.roots = [ "lint_fixtures" ];
+    exclude = [];
+    d1_dirs = [ "lint_fixtures" ];
+    d1_allow = [];
+    d2_dirs = [ "lint_fixtures" ];
+    d3_dirs = [ "lint_fixtures" ];
+    d3_id_idents = [ "id" ];
+    d4_dirs = [ "lint_fixtures" ];
+    d4_allow = [];
+    h1_files = [ "lint_fixtures/h1_alloc.ml" ];
+    m1_dirs = [ "lint_fixtures/m1" ];
+    m1_exempt = [];
+  }
+
+let hits file =
+  let findings, _, _ = Lint.scan_file ~root:fixture_root fcfg file in
+  List.map (fun (f : Lint.finding) -> (f.rule, f.line)) findings
+
+let check_hits name file expected =
+  Alcotest.(check (list (pair string int))) name expected (hits file)
+
+let test_d1 () =
+  check_hits "ambient PRNG, clock, poly hash" "lint_fixtures/d1_clock.ml"
+    [ ("D1", 2); ("D1", 4); ("D1", 6) ]
+
+let test_d2 () =
+  (* only the escaping fold fires: both sorted forms are auto-cleared *)
+  check_hits "escaping fold only" "lint_fixtures/d2_escape.ml" [ ("D2", 3) ]
+
+let test_d3 () =
+  check_hits "poly = / compare / Hashtbl / id ident" "lint_fixtures/d3_poly.ml"
+    [ ("D3", 2); ("D3", 4); ("D3", 6); ("D3", 8) ]
+
+let test_d4 () = check_hits "env read" "lint_fixtures/d4_env.ml" [ ("D4", 2) ]
+
+let test_h1 () =
+  check_hits "append and sprintf in hot module" "lint_fixtures/h1_alloc.ml"
+    [ ("H1", 2); ("H1", 4) ]
+
+let test_h1_only_when_hot () =
+  (* the same file scanned without the hot marker is clean *)
+  let cold = { fcfg with Config.h1_files = [] } in
+  let findings, _, _ = Lint.scan_file ~root:fixture_root cold "lint_fixtures/h1_alloc.ml" in
+  Alcotest.(check int) "not hot, not flagged" 0 (List.length findings)
+
+let test_s1 () =
+  check_hits "unknown rule id and missing justification" "lint_fixtures/s1_bad.ml"
+    [ ("S1", 3); ("S1", 5) ]
+
+let test_suppression () =
+  let findings, suppressed, spans =
+    Lint.scan_file ~root:fixture_root fcfg "lint_fixtures/suppress_ok.ml"
+  in
+  Alcotest.(check int) "no unsuppressed findings" 0 (List.length findings);
+  Alcotest.(check (list (pair string int)))
+    "the D1 draw was cleared, not missed"
+    [ ("D1", 3) ]
+    (List.map (fun (f : Lint.finding) -> (f.rule, f.line)) suppressed);
+  match spans with
+  | [ s ] ->
+    Alcotest.(check string) "audited rule" "D1" s.Lint.s_rule;
+    Alcotest.(check string) "audited justification" "fixture: deliberately audited draw"
+      s.Lint.s_just
+  | l -> Alcotest.failf "expected one audited suppression, got %d" (List.length l)
+
+let test_clean_fixture () =
+  check_hits "violation-free module" "lint_fixtures/clean.ml" []
+
+let test_m1 () =
+  let report = Lint.scan_tree ~root:fixture_root fcfg in
+  let m1 =
+    List.filter_map
+      (fun (f : Lint.finding) -> if f.rule = "M1" then Some f.file else None)
+      report.Lint.findings
+  in
+  Alcotest.(check (list string)) "only the orphan is flagged"
+    [ "lint_fixtures/m1/orphan.ml" ] m1
+
+let test_config_load () =
+  let cfg = Config.load (Filename.concat repo_root "lint.toml") in
+  Alcotest.(check (list string)) "roots" [ "lib"; "bin"; "bench"; "test" ] cfg.Config.roots;
+  Alcotest.(check bool) "fixtures excluded" true
+    (List.mem "test/lint_fixtures" cfg.Config.exclude);
+  Alcotest.(check bool) "member.ml declared hot" true
+    (List.mem "lib/rrmp/member.ml" cfg.Config.h1_files)
+
+let test_clean_tree () =
+  (* the committed config over the real lib/ tree: zero unsuppressed
+     findings, and every audited suppression carries a justification *)
+  let cfg =
+    { (Config.load (Filename.concat repo_root "lint.toml")) with Config.roots = [ "lib" ] }
+  in
+  let report = Lint.scan_tree ~root:repo_root cfg in
+  List.iter (fun (f : Lint.finding) -> Format.eprintf "unexpected: %s:%d [%s] %s@." f.file f.line f.rule f.message)
+    report.Lint.findings;
+  Alcotest.(check int) "lib/ is lint-clean" 0 (List.length report.Lint.findings);
+  Alcotest.(check bool) "suppressions are audited" true
+    (report.Lint.suppressions <> []
+     && List.for_all (fun s -> String.length s.Lint.s_just > 0) report.Lint.suppressions)
+
+let suites =
+  [
+    ( "lint.rules",
+      [
+        Alcotest.test_case "D1 nondeterminism sources" `Quick test_d1;
+        Alcotest.test_case "D2 unordered escape" `Quick test_d2;
+        Alcotest.test_case "D3 polymorphic structure" `Quick test_d3;
+        Alcotest.test_case "D4 environment reads" `Quick test_d4;
+        Alcotest.test_case "H1 hot-path allocation" `Quick test_h1;
+        Alcotest.test_case "H1 scoped to hot modules" `Quick test_h1_only_when_hot;
+        Alcotest.test_case "S1 suppression hygiene" `Quick test_s1;
+        Alcotest.test_case "M1 missing interface" `Quick test_m1;
+      ] );
+    ( "lint.tree",
+      [
+        Alcotest.test_case "suppression audit trail" `Quick test_suppression;
+        Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        Alcotest.test_case "lint.toml loads" `Quick test_config_load;
+        Alcotest.test_case "lib tree is clean" `Quick test_clean_tree;
+      ] );
+  ]

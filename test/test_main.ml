@@ -18,4 +18,5 @@ let () =
          Test_properties.suites;
          Test_edge_cases.suites;
          Test_misc.suites;
+         Test_lint.suites;
        ])

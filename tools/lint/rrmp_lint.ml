@@ -1,0 +1,45 @@
+(* rrmp_lint — project lint pass over the repo's OCaml sources.
+
+   Usage:
+     rrmp_lint [--root DIR] [--config FILE] [--json FILE] [--quiet]
+
+   Exit status: 0 when the tree is clean, 1 on unsuppressed findings,
+   2 on usage or configuration errors. *)
+
+let usage = "rrmp_lint [--root DIR] [--config FILE] [--json FILE] [--quiet]"
+
+let () =
+  let root = ref "." in
+  let config = ref "lint.toml" in
+  let json_out = ref None in
+  let quiet = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR scan relative to DIR (default .)");
+      ("--config", Arg.Set_string config, "FILE lint configuration (default lint.toml)");
+      ("--json", Arg.String (fun f -> json_out := Some f), "FILE write a lint-report/v1 JSON report");
+      ("--quiet", Arg.Set quiet, " suppress per-finding output");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let cfg =
+    try Lint_core.Config.load (Filename.concat !root !config) with
+    | Lint_core.Config.Bad_config msg ->
+      Printf.eprintf "rrmp_lint: %s: %s\n" !config msg;
+      exit 2
+  in
+  let report = Lint_core.scan_tree ~root:!root cfg in
+  (match !json_out with
+   | None -> ()
+   | Some f ->
+     let oc = open_out f in
+     output_string oc (Lint_core.json_of_report report);
+     close_out oc);
+  if not !quiet then
+    List.iter (Lint_core.pp_finding stdout) report.findings;
+  let n = List.length report.findings in
+  Printf.printf
+    "rrmp_lint: %d file(s) scanned, %d finding(s), %d audited suppression(s)\n"
+    report.files_scanned n
+    (List.length report.suppressions);
+  if n > 0 then exit 1
