@@ -20,15 +20,26 @@
    required to be byte-identical, and BENCH_parallel.json records the
    wall-clock pair plus the speedup.
 
+   Part 5 (BENCH_scale.json) covers the two scale paths: the coalesced
+   deadline rings vs per-message timers, and the region-sharded
+   members x shards sweep (Rrmp.Sharded over Engine.Shard), whose rows
+   re-assert the shard-count identity guarantee while timing it.
+
    Usage:
-     main.exe             full reproduction + benchmarks + JSON files
-     main.exe --smoke     one reduced Bechamel iteration per test, then
-                          emit the JSON files and re-parse them (used by
-                          the [bench-smoke] dune alias as a CI check)
-     main.exe -j N        worker domains for the parallel suite
-                          (default 4, clamped to >= 2)
-     main.exe --det-check run one experiment at -j 1 and -j 4 and exit
-                          nonzero if the reports differ (CI guard) *)
+     main.exe              full reproduction + benchmarks + JSON files
+     main.exe --smoke      one reduced Bechamel iteration per test, then
+                           emit the JSON files and re-parse them (used by
+                           the [bench-smoke] dune alias as a CI check)
+     main.exe -j N         worker domains for the parallel suite
+                           (default 4, clamped to >= 2)
+     main.exe -s N         max shard count for the sharded sweep
+                           (default 4)
+     main.exe --det-check  run one experiment at -j 1 and -j 4 and exit
+                           nonzero if the reports differ (CI guard)
+     main.exe --shard-check run the sharded scale experiment at
+                           --shards 1 and 4 and exit nonzero if the
+                           reports differ (CI guard)
+     main.exe --scale-only just the two scale sweeps + BENCH_scale.json *)
 
 let reproduce () =
   Format.printf "=====================================================================@.";
@@ -648,11 +659,12 @@ type scale_result = {
   sc_name : string;
   sc_members : int;
   sc_quantum : float;
+  sc_shards : int; (* 1 = the sequential single-Sim path *)
   sc_wall_s : float;
   sc_sim_events : int;
   sc_delivered : int;
   sc_minor_words_per_op : float;
-  sc_speedup : float option; (* ring vs per-message timers, same size *)
+  sc_speedup : (string * float) option; (* JSON key + ratio vs the paired row *)
 }
 
 let measure_scale ~n ~msgs ~burst ~quantum sc_name =
@@ -667,6 +679,7 @@ let measure_scale ~n ~msgs ~burst ~quantum sc_name =
     sc_name;
     sc_members = n;
     sc_quantum = quantum;
+    sc_shards = 1;
     sc_wall_s;
     sc_sim_events = stats.Experiments.Ext_scale.sim_events;
     sc_delivered = stats.Experiments.Ext_scale.delivered;
@@ -678,7 +691,10 @@ let print_scale r =
   Format.printf "  %-44s %8.3f s  %9d sim events  %8.2f words/op%s@." r.sc_name
     r.sc_wall_s r.sc_sim_events r.sc_minor_words_per_op
     (match r.sc_speedup with
-     | Some s -> Format.asprintf "  %5.2fx vs timers" s
+     | Some (key, s) ->
+       Format.asprintf "  %5.2fx %s"
+         s
+         (if key = "speedup_vs_timers" then "vs timers" else "vs 1 shard")
      | None -> "")
 
 (* The deadline-management component in isolation, at the sweep's
@@ -749,6 +765,7 @@ let measure_churn ~members ~msgs ~quantum sc_name f =
     sc_name;
     sc_members = members;
     sc_quantum = quantum;
+    sc_shards = 1;
     sc_wall_s;
     sc_sim_events = Engine.Sim.events_executed sim;
     sc_delivered = !fired;
@@ -774,7 +791,8 @@ let run_scale ~smoke () =
         in
         let after =
           { after with
-            sc_speedup = Some (before.sc_wall_s /. Float.max after.sc_wall_s 1e-9) }
+            sc_speedup =
+              Some ("speedup_vs_timers", before.sc_wall_s /. Float.max after.sc_wall_s 1e-9) }
         in
         print_scale before;
         print_scale after;
@@ -795,11 +813,157 @@ let run_scale ~smoke () =
         (Printf.sprintf "scale/deadline-churn %dx%d deadline rings (after)" c_members c_msgs)
         (churn_rings ~members:c_members ~msgs:c_msgs ~rounds)
     in
-    { r with sc_speedup = Some (churn_before.sc_wall_s /. Float.max r.sc_wall_s 1e-9) }
+    { r with
+      sc_speedup =
+        Some ("speedup_vs_timers", churn_before.sc_wall_s /. Float.max r.sc_wall_s 1e-9) }
   in
   print_scale churn_before;
   print_scale churn_after;
   sweep @ [ churn_before; churn_after ]
+
+(* ------------------------------------------------------------------ *)
+(* Region-sharded sweep: members × shards over Rrmp.Sharded            *)
+(* ------------------------------------------------------------------ *)
+
+(* run [f] with the shard-count setting temporarily forced, mirroring
+   [at_jobs] (the --shards / REPRO_SHARDS convention) *)
+let at_shards shards f =
+  let saved = Engine.Shard.default_shards () in
+  Engine.Shard.set_default_shards shards;
+  Fun.protect ~finally:(fun () -> Engine.Shard.set_default_shards saved) f
+
+(* One (members, shards) row. The wall clock is measured at -j =
+   shards, one worker domain per shard window; minor words come from a
+   separate -j 1 pass where every window runs inline on this domain,
+   because Gc.minor_words is a per-domain counter and the parallel
+   pass would hide worker-domain allocation. The two passes (and every
+   shard count) must agree on the simulation-domain statistics — the
+   identity guarantee is re-asserted here on every row. *)
+let measure_shard_row ~regions ~per_region ~msgs ~burst ~shards ~expect sc_name =
+  let run () =
+    Experiments.Ext_scale.run_once_sharded ~regions ~per_region ~msgs ~burst ~quantum:10.0
+      ~seed:1 ~shards ~observe:false ()
+  in
+  let w0 = Gc.minor_words () in
+  let alloc_stats, _, _ = at_jobs 1 run in
+  let words = Gc.minor_words () -. w0 in
+  let t0 = Unix.gettimeofday () in
+  let stats, _, _ = at_jobs shards run in
+  let sc_wall_s = Unix.gettimeofday () -. t0 in
+  let delivered = stats.Experiments.Ext_scale.delivered in
+  let events = stats.Experiments.Ext_scale.sim_events in
+  if
+    delivered <> alloc_stats.Experiments.Ext_scale.delivered
+    || events <> alloc_stats.Experiments.Ext_scale.sim_events
+  then failwith (sc_name ^ ": -j 1 and -j N runs disagree");
+  (match expect with
+   | Some (d, e) when d <> delivered || e <> events ->
+     failwith (sc_name ^ ": shard count changed the simulation result")
+   | _ -> ());
+  {
+    sc_name;
+    sc_members = regions * per_region;
+    sc_quantum = 10.0;
+    sc_shards = shards;
+    sc_wall_s;
+    sc_sim_events = events;
+    sc_delivered = delivered;
+    sc_minor_words_per_op = words /. float_of_int (max 1 delivered);
+    sc_speedup = None;
+  }
+
+(* The SoA hot op in isolation: feedback touches against a populated
+   arena are bare int-array stores (the ring re-buckets lazily at sweep
+   time), so the unobserved path must measure 0.00 minor words/op —
+   the emission-gating claim made precise at the sweep's population. *)
+let measure_soa_touch ~members ~msgs ~rounds sc_name =
+  let sim = Engine.Sim.create () in
+  let soa =
+    Rrmp.Member_soa.create ~sim ~n:members ~cap:msgs ~quantum:10.0 ~idle_timeout:1e9
+      ~lifetime:None
+      ~on_idle:(fun ~member:_ ~seq:_ -> ())
+      ~on_lifetime:(fun ~member:_ ~seq:_ -> ())
+      ()
+  in
+  for m = 0 to members - 1 do
+    for s = 0 to msgs - 1 do
+      ignore (Rrmp.Member_soa.insert_short soa m s ~now:0.0)
+    done
+  done;
+  let ops = members * msgs * rounds in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for r = 1 to rounds do
+    (* opaque_identity keeps [now] boxed: the classic compiler unboxes
+       a let-bound float and re-boxes it at every call site, which
+       would charge 2 words/op to the harness, not the touch path *)
+    let now = Sys.opaque_identity (float_of_int (20 * r)) in
+    for m = 0 to members - 1 do
+      for s = 0 to msgs - 1 do
+        Rrmp.Member_soa.touch soa m s ~now
+      done
+    done
+  done;
+  let sc_wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    sc_name;
+    sc_members = members;
+    sc_quantum = 10.0;
+    sc_shards = 1;
+    sc_wall_s;
+    sc_sim_events = 0;
+    sc_delivered = ops;
+    sc_minor_words_per_op = words /. float_of_int (max 1 ops);
+    sc_speedup = None;
+  }
+
+(* Shard counts 1..max_shards (powers of two) per cell; the 1-shard row
+   is the baseline the speedup_vs_1shard column divides against. On a
+   single-core machine the column records the barrier overhead (~1x);
+   the identity guarantee means the statistics are the same either
+   way, so the rows are comparable across machines. *)
+let run_shard_sweep ~smoke ~max_shards () =
+  let cells = if smoke then [ (4, 64) ] else [ (16, 512); (32, 1024); (64, 1600) ] in
+  let msgs = if smoke then 8 else 24 in
+  let burst = if smoke then 4 else 8 in
+  let counts =
+    let rec up s = if s > max_shards then [] else s :: up (2 * s) in
+    match up 1 with [] -> [ 1 ] | l -> l
+  in
+  let touch =
+    let members = if smoke then 256 else 20_000 in
+    let t_msgs = if smoke then 8 else 32 in
+    let rounds = if smoke then 2 else 4 in
+    measure_soa_touch ~members ~msgs:t_msgs ~rounds
+      (Printf.sprintf "scale/soa-touch %dx%d unobserved" members t_msgs)
+  in
+  print_scale touch;
+  touch
+  :: List.concat_map
+    (fun (regions, per_region) ->
+      let counts = List.filter (fun s -> s = 1 || s <= regions) counts in
+      let row ~shards ~expect =
+        measure_shard_row ~regions ~per_region ~msgs ~burst ~shards ~expect
+          (Printf.sprintf "scale/sharded %dx%d shards=%d" regions per_region shards)
+      in
+      let base = row ~shards:1 ~expect:None in
+      print_scale base;
+      base
+      :: List.map
+           (fun shards ->
+             let r =
+               row ~shards ~expect:(Some (base.sc_delivered, base.sc_sim_events))
+             in
+             let r =
+               { r with
+                 sc_speedup =
+                   Some ("speedup_vs_1shard", base.sc_wall_s /. Float.max r.sc_wall_s 1e-9) }
+             in
+             print_scale r;
+             r)
+           (List.filter (fun s -> s > 1) counts))
+    cells
 
 let scale_result_json r =
   Tracing.Json.Obj
@@ -807,6 +971,7 @@ let scale_result_json r =
        ("name", Tracing.Json.String r.sc_name);
        ("members", Tracing.Json.Int r.sc_members);
        ("quantum_ms", Tracing.Json.Float r.sc_quantum);
+       ("shards", Tracing.Json.Int r.sc_shards);
        ("wall_s", Tracing.Json.Float r.sc_wall_s);
        ("sim_events", Tracing.Json.Int r.sc_sim_events);
        ( "events_per_sec",
@@ -816,8 +981,32 @@ let scale_result_json r =
      ]
     @
     match r.sc_speedup with
-    | Some s -> [ ("speedup_vs_timers", Tracing.Json.Float s) ]
+    | Some (key, s) -> [ (key, Tracing.Json.Float s) ]
     | None -> [])
+
+(* --shard-check: the sharded analogue of --det-check — the quick
+   sharded scale experiment at --shards 1 vs --shards 4, byte-compared
+   (also exercised registry-wide by test/test_shard.ml) *)
+let shard_check () =
+  let id = "ext_scale_sharded" in
+  let run () =
+    match Experiments.Registry.find id with
+    | Some e -> render_report (e.Experiments.Registry.run ~quick:true)
+    | None -> failwith ("shard-check: unknown experiment " ^ id)
+  in
+  let one = at_shards 1 run in
+  let four = at_shards 4 run in
+  if one = four then begin
+    Format.printf "shard-check: %s identical at --shards 1 and 4 (%d bytes)@." id
+      (String.length one);
+    0
+  end
+  else begin
+    Format.printf "shard-check: %s DIFFERS between --shards 1 and 4@." id;
+    Format.printf "--- --shards 1 ---@.%s@." one;
+    Format.printf "--- --shards 4 ---@.%s@." four;
+    1
+  end
 
 (* --det-check: the CI guard behind the bench-smoke alias — one
    experiment at -j 1 vs -j 4, byte-compared *)
@@ -842,7 +1031,7 @@ let det_check () =
     1
   end
 
-let bench ~smoke ~jobs () =
+let bench ~smoke ~jobs ~max_shards () =
   Format.printf "=====================================================================@.";
   Format.printf " Bechamel microbenchmarks (monotonic clock per run)@.";
   Format.printf "=====================================================================@.";
@@ -864,6 +1053,10 @@ let bench ~smoke ~jobs () =
   Format.printf " Scale sweep: deadline rings vs per-message timers@.";
   Format.printf "---------------------------------------------------------------------@.";
   let scales = run_scale ~smoke () in
+  Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Region-sharded sweep (members x shards, max %d shards)@." max_shards;
+  Format.printf "---------------------------------------------------------------------@.";
+  let scales = scales @ run_shard_sweep ~smoke ~max_shards () in
   write_json "BENCH_engine.json"
     (suite_json ~suite:"engine" ~smoke (List.rev_map bench_result_json engine));
   write_json "BENCH_protocol.json"
@@ -886,23 +1079,30 @@ let bench ~smoke ~jobs () =
 let () =
   let argv = Sys.argv in
   let jobs = ref 4 in
+  let max_shards = ref 4 in
   Array.iteri
     (fun i a ->
       if (a = "-j" || a = "--jobs") && i + 1 < Array.length argv then
         match int_of_string_opt argv.(i + 1) with
         | Some n when n >= 2 -> jobs := n
-        | _ -> failwith ("bad -j value: " ^ argv.(i + 1)))
+        | _ -> failwith ("bad -j value: " ^ argv.(i + 1))
+      else if (a = "-s" || a = "--shards") && i + 1 < Array.length argv then
+        match int_of_string_opt argv.(i + 1) with
+        | Some n when n >= 1 -> max_shards := n
+        | _ -> failwith ("bad --shards value: " ^ argv.(i + 1)))
     argv;
   if Array.exists (String.equal "--det-check") argv then exit (det_check ())
+  else if Array.exists (String.equal "--shard-check") argv then exit (shard_check ())
   else if Array.exists (String.equal "--scale-only") argv then begin
-    (* just the ring-vs-timers sweep + its JSON, for quick iteration *)
+    (* just the ring-vs-timers + sharded sweeps + their JSON, for quick
+       iteration *)
     let smoke = Array.exists (String.equal "--smoke") argv in
-    let scales = run_scale ~smoke () in
+    let scales = run_scale ~smoke () @ run_shard_sweep ~smoke ~max_shards:!max_shards () in
     write_json "BENCH_scale.json"
       (suite_json ~suite:"scale" ~smoke (List.map scale_result_json scales))
   end
   else begin
     let smoke = Array.exists (String.equal "--smoke") argv in
     if not smoke then reproduce ();
-    bench ~smoke ~jobs:!jobs ()
+    bench ~smoke ~jobs:!jobs ~max_shards:!max_shards ()
   end

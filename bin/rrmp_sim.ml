@@ -45,14 +45,25 @@ let jobs_opt =
 (* set_default_workers clamps to a sane range, so any integer is safe *)
 let apply_jobs = function None -> () | Some n -> Engine.Pool.set_default_workers n
 
+let shards_opt =
+  let doc =
+    "Shard count for the region-sharded experiments (default: $(b,REPRO_SHARDS) or 1). \
+     Results are byte-identical for every value; $(docv)=1 forces the sequential path."
+  in
+  Cmdliner.Arg.(value & opt (some int) None & info [ "shards"; "s" ] ~doc ~docv:"N")
+
+(* set_default_shards clamps too *)
+let apply_shards = function None -> () | Some n -> Engine.Shard.set_default_shards n
+
 let run_cmd =
   let doc = "Run one experiment (or 'all') and print its table." in
   let id_arg =
     let doc = "Experiment id (see $(b,list)), or 'all'." in
     Cmdliner.Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"ID")
   in
-  let run id quick csv_dir jobs =
+  let run id quick csv_dir jobs shards =
     apply_jobs jobs;
+    apply_shards shards;
     let entries =
       if id = "all" then Ok Experiments.Registry.all
       else
@@ -75,7 +86,7 @@ let run_cmd =
       0
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info "run" ~doc)
-    Cmdliner.Term.(const run $ id_arg $ quick_flag $ csv_dir_opt $ jobs_opt)
+    Cmdliner.Term.(const run $ id_arg $ quick_flag $ csv_dir_opt $ jobs_opt $ shards_opt)
 
 (* --- session ------------------------------------------------------ *)
 

@@ -17,6 +17,17 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* the [index]-th child stream of [seed], without materializing the
+   parent: offset the state by index gammas and scramble once, so
+   [substream ~seed ~index] is a pure function of its arguments — the
+   sharded simulation derives one stream per region this way, making
+   every region's randomness independent of the region-to-shard
+   assignment *)
+let substream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.substream: index must be non-negative";
+  let t = { state = Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int index)) } in
+  { state = bits64 t }
+
 (* 62 random bits: always representable as a non-negative OCaml int *)
 let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

@@ -18,6 +18,14 @@ val split : t -> t
 (** [split t] derives an independent child generator and advances [t].
     Use one child per simulated component. *)
 
+val substream : seed:int -> index:int -> t
+(** [substream ~seed ~index] is the [index]-th independent child stream
+    of [seed], as a pure function of [(seed, index)] — unlike {!split}
+    it does not thread through a parent generator, so a component (e.g.
+    a region of the sharded simulation) can derive its stream without
+    any sequential dependence on its siblings.
+    @raise Invalid_argument if [index < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -1,0 +1,63 @@
+(* Conservative-time barrier driver: windows of one quantum, a barrier
+   exchange between windows. Each shard's Sim is touched by exactly one
+   domain at a time (Pool.parallel_for hands shard s to a single
+   worker, and the submission barrier orders those writes before the
+   main-domain exchange), so shards need no locks of their own. *)
+
+let clamp_shards s = if s < 1 then 1 else if s > 128 then 128 else s
+
+(* the process-wide --shards / REPRO_SHARDS setting (main domain only) *)
+let shards_setting = ref None
+
+let default_shards () =
+  match !shards_setting with
+  | Some s -> s
+  | None ->
+    let s =
+      match Option.bind (Sys.getenv_opt "REPRO_SHARDS") int_of_string_opt with
+      | Some v -> clamp_shards v
+      | None -> 1
+    in
+    shards_setting := Some s;
+    s
+
+let set_default_shards s = shards_setting := Some (clamp_shards s)
+
+let run ~sims ~quantum ~until ~exchange () =
+  if quantum <= 0.0 then invalid_arg "Shard.run: quantum must be positive";
+  if until < 0.0 then invalid_arg "Shard.run: until must be non-negative";
+  let shards = Array.length sims in
+  if shards > 0 then begin
+    let pool = if shards > 1 then Some (Pool.global ()) else None in
+    let windows = int_of_float (Float.ceil (until /. quantum)) in
+    let w = ref 1 in
+    let quiescent = ref false in
+    while (not !quiescent) && !w <= windows do
+      let barrier = Float.min (float_of_int !w *. quantum) until in
+      (* independent shards: any worker interleaving yields the same
+         per-shard state, and a 1-worker pool degrades to shard order *)
+      (match pool with
+       | Some p when Pool.size p > 1 ->
+         Pool.parallel_for p ~n:shards (fun s -> Sim.run ~until:barrier sims.(s))
+       | Some _ | None ->
+         for s = 0 to shards - 1 do
+           Sim.run ~until:barrier sims.(s)
+         done);
+      let injected = exchange ~barrier in
+      (* nothing in flight and nothing queued: every remaining window
+         is empty, so skip straight to the final clock advance *)
+      if injected = 0 then begin
+        let busy = ref false in
+        for s = 0 to shards - 1 do
+          if Sim.pending sims.(s) > 0 then busy := true
+        done;
+        if not !busy then quiescent := true
+      end;
+      incr w
+    done;
+    (* land every clock exactly at [until] (events scheduled beyond the
+       horizon stay queued, matching Sim.run's own contract) *)
+    for s = 0 to shards - 1 do
+      Sim.run ~until sims.(s)
+    done
+  end

@@ -1,0 +1,51 @@
+(** Conservative-time coordinator for region-sharded simulations.
+
+    A sharded simulation partitions its regions over [S] independent
+    {!Sim} instances ("shards"). Within a window of one deadline-ring
+    quantum every shard runs alone — no shared mutable state — and at
+    each window boundary (the barrier) the caller-supplied [exchange]
+    callback injects the cross-shard traffic that was posted during the
+    window (see {!Netsim.Fabric}). The scheme is conservative in the
+    PDES sense: as long as every cross-region delay is at least one
+    quantum, a message posted inside window [w] can only fire strictly
+    after barrier [w], so no shard ever receives an event in its past.
+
+    Determinism: shards share nothing between barriers and [exchange]
+    injects parcels in a fixed region order, so the observable result
+    is byte-identical for every shard count and worker count — the
+    shard-structure analogue of the [-j] identity guarantee (worker
+    parallelism comes from {!Pool.global}, which is already
+    order-free). *)
+
+val run :
+  sims:Sim.t array ->
+  quantum:float ->
+  until:float ->
+  exchange:(barrier:float -> int) ->
+  unit ->
+  unit
+(** [run ~sims ~quantum ~until ~exchange ()] drives every shard to
+    virtual time [until] in lock-step windows of [quantum]
+    milliseconds. After each window the shards' clocks all sit exactly
+    at the barrier and [exchange ~barrier] must schedule all pending
+    cross-shard parcels (returning how many it injected); when every
+    shard is quiescent and an exchange injects nothing, the remaining
+    empty windows are skipped. Windows run on {!Pool.global} when more
+    than one shard and more than one worker are configured, otherwise
+    inline in shard order — the result is identical either way.
+    @raise Invalid_argument if [quantum <= 0] or [until < 0]. *)
+
+(** {2 Process-wide shard-count setting}
+
+    Mirrors {!Pool.default_workers} / [REPRO_JOBS]: the sharded
+    experiments split their regions over [REPRO_SHARDS] shards,
+    overridden by {!set_default_shards} (the [--shards] flag). The
+    default is 1 — sharding is opt-in, and because of the identity
+    guarantee the setting never changes seeded output, only wall-clock
+    behaviour. *)
+
+val default_shards : unit -> int
+(** Current setting, clamped to [1, 128]. *)
+
+val set_default_shards : int -> unit
+(** Override the setting (clamped to [1, 128]). *)

@@ -48,3 +48,41 @@ val run :
   ?seed:int ->
   unit ->
   Report.t
+
+val run_once_sharded :
+  regions:int ->
+  per_region:int ->
+  msgs:int ->
+  burst:int ->
+  ?gap:float ->
+  ?loss_frac:float ->
+  ?lifetime:float ->
+  quantum:float ->
+  seed:int ->
+  ?shards:int ->
+  ?observe:bool ->
+  unit ->
+  run_stats * int * int
+(** One seeded run over {!Rrmp.Sharded}: [regions] regions of
+    [per_region] members in a one-hop star under the sender's region,
+    partitioned over [shards] (default {!Engine.Shard.default_shards},
+    clamped to [regions]) conservative-time shards. Same workload shape
+    as {!run_once}. Returns [(stats, cross_region_parcels,
+    long_term_bufferers_total)]. Every returned value is shard-count
+    invariant. [observe] attaches a counting per-shard observer
+    (exercises the observed path; default [false] keeps the hot path
+    allocation-free). *)
+
+val run_sharded :
+  ?cells:(int * int) list ->
+  ?msgs:int ->
+  ?burst:int ->
+  ?trials:int ->
+  ?quantum:float ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Sharded sweep over [(regions, per_region)] cells; the full default
+    tops out above 10^5 members. Trials run sequentially (the shard
+    driver owns the worker pool). The report carries sim-domain values
+    only and is byte-identical across shard and worker counts. *)

@@ -162,6 +162,17 @@ let all =
             Ext_scale.run ~sizes:[ 256; 512; 1024 ] ~msgs:16 ~burst:4 ~trials:1 ()
           else Ext_scale.run ());
     };
+    {
+      id = "ext_scale_sharded";
+      description =
+        "Region-sharded scale-out: SoA member state over conservative-time shards, 10^5 members";
+      paper_ref = "extension (Section 6 scalability)";
+      run =
+        (fun ~quick ->
+          if quick then
+            Ext_scale.run_sharded ~cells:[ (4, 64); (8, 128) ] ~msgs:12 ~burst:4 ()
+          else Ext_scale.run_sharded ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

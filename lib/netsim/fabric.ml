@@ -1,0 +1,66 @@
+(* Per-region outboxes, drained at barriers. Parcels are prepended
+   during the window (each outbox is written only by the shard that
+   owns its region) and reversed once at exchange time, which runs on
+   the coordinating domain while every shard is parked — the
+   Pool.parallel_for completion barrier orders the writes before the
+   reads, so no further synchronization is needed. *)
+
+type 'msg parcel = {
+  dst_region : int;
+  arrival : float;
+  msg : 'msg;
+  (* dst_member for unicasts; [dsts] non-empty for fanouts *)
+  dst_member : int;
+  dsts : int array;
+}
+
+type 'msg t = {
+  sim_of : int -> Engine.Sim.t;
+  deliver : region:int -> member:int -> 'msg -> unit;
+  outboxes : 'msg parcel list array; (* per source region, newest first *)
+  mutable total_posted : int;
+}
+
+let create ~regions ~quantum ~sim_of ~deliver =
+  if regions < 0 then invalid_arg "Fabric.create: regions must be non-negative";
+  if quantum <= 0.0 then invalid_arg "Fabric.create: quantum must be positive";
+  { sim_of; deliver; outboxes = Array.make regions []; total_posted = 0 }
+
+let post t ~src_region parcel =
+  t.outboxes.(src_region) <- parcel :: t.outboxes.(src_region);
+  t.total_posted <- t.total_posted + 1
+
+let unicast t ~src_region ~dst_region ~dst_member ~arrival msg =
+  post t ~src_region { dst_region; arrival; msg; dst_member; dsts = [||] }
+
+let fanout t ~src_region ~dst_region ~arrival ~dsts msg =
+  post t ~src_region { dst_region; arrival; msg; dst_member = -1; dsts }
+
+let inject t p =
+  let sim = t.sim_of p.dst_region in
+  ignore
+    (Engine.Sim.schedule_at sim ~at:p.arrival (fun () ->
+         if Array.length p.dsts = 0 then
+           t.deliver ~region:p.dst_region ~member:p.dst_member p.msg
+         else
+           Array.iter (fun m -> t.deliver ~region:p.dst_region ~member:m p.msg) p.dsts))
+
+let exchange t ~barrier =
+  let injected = ref 0 in
+  for src = 0 to Array.length t.outboxes - 1 do
+    match t.outboxes.(src) with
+    | [] -> ()
+    | newest_first ->
+      t.outboxes.(src) <- [];
+      List.iter
+        (fun p ->
+          if p.arrival +. 1e-9 < barrier then
+            invalid_arg
+              "Fabric.exchange: parcel arrives before the barrier (cross-region delay < quantum)";
+          incr injected;
+          inject t p)
+        (List.rev newest_first)
+  done;
+  !injected
+
+let posted t = t.total_posted

@@ -1,0 +1,57 @@
+(** Cross-region parcel routing for the sharded simulation.
+
+    When the simulation is sharded ({!Engine.Shard}), every region owns
+    an outbox; a message whose destination lies in another region is
+    {e posted} to the source region's outbox during the window and only
+    {e injected} into the destination region's shard at the next
+    barrier, via {!exchange}. The quantization is applied to {b every}
+    cross-region packet — even when both regions happen to share a
+    shard — which is what makes the observable result independent of
+    the shard count.
+
+    Determinism: outboxes are drained in ascending source-region order
+    and each outbox preserves emission order (plain arrays end to end —
+    no unordered-container iteration), so for any destination region
+    the injection order of its incoming parcels is a pure function of
+    the workload, never of the region-to-shard assignment. *)
+
+type 'msg t
+
+val create :
+  regions:int ->
+  quantum:float ->
+  sim_of:(int -> Engine.Sim.t) ->
+  deliver:(region:int -> member:int -> 'msg -> unit) ->
+  'msg t
+(** [create ~regions ~quantum ~sim_of ~deliver] routes parcels between
+    [regions] regions; [sim_of r] is the event loop of the shard owning
+    region [r], and [deliver] is invoked inside that loop when a parcel
+    fires. [quantum] is used only for the conservative-barrier check in
+    {!exchange}.
+    @raise Invalid_argument if [regions < 0] or [quantum <= 0]. *)
+
+val unicast :
+  'msg t -> src_region:int -> dst_region:int -> dst_member:int -> arrival:float -> 'msg -> unit
+(** Post a single-destination parcel (remote-recovery requests and
+    repairs). [arrival] is the absolute delivery time, sampled by the
+    caller at send time; it must be at least one quantum away so it
+    lands beyond the next barrier. *)
+
+val fanout :
+  'msg t -> src_region:int -> dst_region:int -> arrival:float -> dsts:int array -> 'msg -> unit
+(** Post a batched multi-destination parcel (one per destination region
+    of a multicast): at [arrival] the destination shard delivers to
+    every member index in [dsts], in array order, from a single event.
+    The fabric takes ownership of [dsts]. *)
+
+val exchange : 'msg t -> barrier:float -> int
+(** Drain every outbox (ascending region order, emission order within a
+    region) into the destination shards and return the number of
+    parcels injected. Called by {!Engine.Shard.run} at each barrier
+    while the shards are parked.
+    @raise Invalid_argument if a parcel's arrival precedes [barrier] —
+    the conservative-time premise (cross-region delay >= one quantum)
+    was violated by the caller's latency configuration. *)
+
+val posted : 'msg t -> int
+(** Total parcels posted so far (cross-region traffic volume). *)

@@ -1,0 +1,122 @@
+(** Struct-of-arrays member state for the sharded scale path.
+
+    One [t] holds the hot protocol state of {e every} member of a
+    region, packed into flat arrays and byte-packed bitsets indexed by
+    a dense member handle [0 <= m < n] and a bounded sequence number
+    [0 <= seq < cap] of a single multicast source: receive
+    watermarks/bitsets (the arrayified {!Protocol.Gap_detect}),
+    two-phase buffer phase counters with incremental occupancy
+    integrals, and int-packed deadline ticks swept by a built-in
+    coalesced deadline ring (the arrayified {!Engine.Dring}). At 10^6
+    members this is a handful of flat arrays instead of ~10^6 heap
+    records and per-member hashtables; every hot operation below is
+    O(1) amortized and allocation-free.
+
+    The record-based classic path ({!Member} over {!Protocol.Gap_detect},
+    {!Buffer} and {!Engine.Dring}) is retained as the reference model;
+    [test/test_shard.ml] holds the qcheck lockstep suites proving the
+    gap-detection and buffer/occupancy semantics equivalent. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  n:int ->
+  cap:int ->
+  quantum:float ->
+  idle_timeout:float ->
+  lifetime:float option ->
+  on_idle:(member:int -> seq:int -> unit) ->
+  on_lifetime:(member:int -> seq:int -> unit) ->
+  unit ->
+  t
+(** Arena for [n] members and sequence numbers [0, cap) of one source.
+    Idle deadlines fire [idle_timeout] ms after the last {!touch} (into
+    [on_idle]); long-term entries expire [lifetime] ms after their last
+    touch (into [on_lifetime]). Deadlines are coalesced on a
+    [quantum]-ms ring exactly like {!Engine.Dring}: they fire up to one
+    quantum late, never early, in arming order within a tick.
+    @raise Invalid_argument on non-positive [n], [cap], [quantum],
+    [idle_timeout] or [lifetime]. *)
+
+val members : t -> int
+
+val capacity : t -> int
+
+(** {2 Gap detection} (lockstep with {!Protocol.Gap_detect}) *)
+
+val received : t -> int -> int -> bool
+(** [received t m seq]. *)
+
+val note_data : t -> int -> int -> on_gap:(int -> unit) -> bool
+(** [note_data t m seq ~on_gap] records receipt of [seq] at member [m].
+    [false] if it was a duplicate; otherwise every sequence number
+    newly detected as missing (strictly below [seq], never reported
+    before) is passed to [on_gap] in ascending order.
+    @raise Invalid_argument if [seq] is outside [0, cap). *)
+
+val note_session : t -> int -> max_seq:int -> on_gap:(int -> unit) -> unit
+(** Session message advertising the source's highest sequence number:
+    newly detected losses (including [max_seq] itself if unreceived)
+    go to [on_gap] in ascending order. *)
+
+val note_repaired : t -> int -> int -> bool
+(** Mark a missing sequence number as received; [false] if it already
+    was (duplicate repair). *)
+
+val missing_count : t -> int -> int
+
+val received_count : t -> int -> int
+
+val highest_seen : t -> int -> int
+(** Highest sequence number member [m] knows to exist; -1 initially. *)
+
+(** {2 Two-phase buffer} (lockstep with {!Buffer} + idle/lifetime rings) *)
+
+val buffered : t -> int -> int -> bool
+
+val long_term : t -> int -> int -> bool
+
+val insert_short : t -> int -> int -> now:float -> bool
+(** Buffer [seq] at member [m] in the short-term phase and arm its idle
+    deadline. [false] (no change) if already buffered. *)
+
+val touch : t -> int -> int -> now:float -> unit
+(** Feedback touch: push the idle (and, for long-term entries,
+    lifetime) deadline out to [now + timeout]. O(1) field writes — the
+    ring re-buckets lazily at sweep time. No-op if not buffered. *)
+
+val promote_long : t -> int -> int -> now:float -> bool
+(** Short-term -> long-term; disarms the idle deadline and arms the
+    lifetime deadline (when a lifetime is configured). [false] if the
+    entry is absent or already long-term. *)
+
+val drop : t -> int -> int -> now:float -> bool
+(** Discard a buffered entry, disarming its deadlines. [false] if it
+    was not buffered. *)
+
+val buffer_size : t -> int -> int
+
+val long_count : t -> int -> int
+
+val peak_size : t -> int -> int
+
+val occupancy_msg_ms : t -> int -> float
+(** Integral of buffered-message count over virtual time for member
+    [m], up to the last state change; call {!settle} first to account
+    up to "now". *)
+
+val settle : t -> int -> now:float -> unit
+
+val settle_all : t -> now:float -> unit
+
+(** {2 Delivery and promotion accounting} *)
+
+val deliveries : t -> int -> int
+
+val note_delivery : t -> int -> unit
+
+val promotions_of_seq : t -> int -> int
+(** How many members of this region promoted [seq] to long-term — the
+    per-message long-term-bufferer count the asymptotics comparison
+    reads. *)

@@ -2,7 +2,9 @@
     two-phase buffer management of "Optimizing Buffer Management for
     Reliable Multicast" (Xiao, Birman & van Renesse, DSN 2002).
 
-    Start with {!Group} (whole sessions) or {!Member} (single nodes);
+    Start with {!Group} (whole sessions), {!Member} (single nodes), or
+    {!Sharded} (the region-sharded 10^5-10^6-member scale path over
+    {!Member_soa} struct-of-arrays state);
     tune parameters through {!Config}; observe behaviour through
     {!Events}. *)
 
@@ -15,3 +17,5 @@ module Model = Model
 module Events = Events
 module Member = Member
 module Group = Group
+module Member_soa = Member_soa
+module Sharded = Sharded

@@ -1,0 +1,599 @@
+(* Region-sharded protocol driver (see the .mli for the architecture).
+
+   Concurrency story: every region lives on exactly one shard, and a
+   shard's regions are touched only by the domain running that shard's
+   Sim window (Engine.Shard hands each shard to one worker at a time).
+   Cross-region messages never call into another region's state
+   directly — they are posted to the fabric from the sending shard's
+   domain and injected by the coordinator between windows — so no lock
+   is needed anywhere. Determinism: all randomness comes from
+   per-region substreams, all cross-region traffic is quantized through
+   the barrier, and float statistics accumulate per region. *)
+
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+module Fabric = Netsim.Fabric
+module Metrics = Tracing.Metrics
+module Msg_id = Protocol.Msg_id
+
+(* The sharded wire protocol. A single source with bounded in-order
+   sequence numbers means a seq *is* the message body: repairs carry
+   the seq alone and payload bodies are never materialized, which is
+   what lets 10^6 members run without per-packet allocation. *)
+type msg =
+  | Data of int  (* seq *)
+  | Session of int  (* sender's max seq *)
+  | Remote_request of { seq : int; origin_region : int; origin_member : int }
+  | Remote_repair of int  (* seq *)
+
+(* recovery table keyed by the packed (member, seq) int: identity is a
+   perfect hash (functor-made, per the D3 rule) *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash k = k land max_int
+end)
+
+type recovery = {
+  detected_at : float;
+  mutable local_timer : Sim.handle option;
+  mutable remote_timer : Sim.handle option;
+  mutable local_tries : int;
+  mutable remote_tries : int;
+}
+
+(* per-shard execution context: its own Sim, metrics registry and
+   observer, so hot-path gating and counter bumps never cross domains *)
+type shard_ctx = {
+  sim : Sim.t;
+  metrics : Metrics.t;
+  mh_delivered : Metrics.handle;
+  mh_touches : Metrics.handle;
+  mh_discarded : Metrics.handle;
+  observer : Events.observer option;
+  observing : bool;
+}
+
+type region = {
+  r_id : int;
+  shard : int;
+  size : int;
+  base : int;  (* global id of member 0: node ids for events *)
+  parent : int;  (* parent region, -1 for the sender's *)
+  hops : int;  (* hop distance from the sender's region *)
+  soa : Member_soa.t;
+  rngs : Rng.t array;  (* one generator per member, split in order *)
+  recoveries : recovery Key_tbl.t;
+      (* keyed m*cap+seq; only ever indexed, never iterated *)
+  mutable recovered : int;
+  mutable latency_sum : float;
+      (* accumulated in region event order (shard-invariant), folded in
+         region order: float determinism across shard counts *)
+}
+
+type t = {
+  config : Config.t;
+  quantum : float;
+  intra : float;
+  inter : float;
+  local_retry : float;
+  remote_retry : float;
+  cap : int;
+  total : int;
+  regs : region array;
+  ctxs : shard_ctx array;
+  fabric : msg Fabric.t;
+  scratch : int array;  (* multicast reach scan, sized max region *)
+  sender_node : Node_id.t;
+  mutable next_seq : int;
+  mutable session_on : bool;
+}
+
+let regions t = Array.length t.regs
+
+let shards t = Array.length t.ctxs
+
+let size t = t.total
+
+let sender_sim t = t.ctxs.(t.regs.(0).shard).sim
+
+let[@inline] rkey t m seq = (m * t.cap) + seq
+
+let[@inline] id_of t seq = Msg_id.make ~source:t.sender_node ~seq
+
+let[@inline] node_of reg m = Node_id.of_int (reg.base + m)
+
+let emit t reg m event =
+  let ctx = t.ctxs.(reg.shard) in
+  match ctx.observer with
+  | None -> ()
+  | Some f -> f ~time:(Sim.now ctx.sim) ~self:(node_of reg m) event
+
+let tries_exhausted t tries =
+  match t.config.Config.max_recovery_tries with
+  | None -> false
+  | Some m -> tries >= m
+
+let finish_recovery t reg m seq =
+  let k = rkey t m seq in
+  match Key_tbl.find_opt reg.recoveries k with
+  | None -> ()
+  | Some r ->
+    Option.iter Sim.cancel r.local_timer;
+    Option.iter Sim.cancel r.remote_timer;
+    Key_tbl.remove reg.recoveries k;
+    let ctx = t.ctxs.(reg.shard) in
+    let latency = Sim.now ctx.sim -. r.detected_at in
+    reg.recovered <- reg.recovered + 1;
+    reg.latency_sum <- reg.latency_sum +. latency;
+    if ctx.observing then
+      emit t reg m (Events.Recovered { id = id_of t seq; latency; local_tries = r.local_tries })
+
+(* ------------------------------------------------------------------ *)
+(* Receive / recovery machine                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* first delivery of [seq]'s body to member [m] (receipt bit already
+   set by the caller via note_data / note_repaired) *)
+let rec accept t reg m seq ~via =
+  let ctx = t.ctxs.(reg.shard) in
+  let now = Sim.now ctx.sim in
+  finish_recovery t reg m seq;
+  ctx.mh_delivered := !(ctx.mh_delivered) + 1;
+  Member_soa.note_delivery reg.soa m;
+  if ctx.observing then emit t reg m (Events.Delivered { id = id_of t seq; via });
+  if Member_soa.insert_short reg.soa m seq ~now then
+    if ctx.observing then
+      emit t reg m (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term })
+
+and start_recovery t reg m seq =
+  let k = rkey t m seq in
+  if (not (Key_tbl.mem reg.recoveries k)) && not (Member_soa.received reg.soa m seq) then begin
+    let ctx = t.ctxs.(reg.shard) in
+    if ctx.observing then emit t reg m (Events.Loss_detected (id_of t seq));
+    let r =
+      {
+        detected_at = Sim.now ctx.sim;
+        local_timer = None;
+        remote_timer = None;
+        local_tries = 0;
+        remote_tries = 0;
+      }
+    in
+    Key_tbl.add reg.recoveries k r;
+    local_round t reg m seq r;
+    remote_round t reg m seq r
+  end
+
+(* one local round: probe a uniformly random other region member, arm
+   the retry timer (armed even when alone, exactly like Member) *)
+and local_round t reg m seq r =
+  if not (tries_exhausted t r.local_tries) then begin
+    let ctx = t.ctxs.(reg.shard) in
+    if reg.size > 1 then begin
+      let j = Rng.int reg.rngs.(m) (reg.size - 1) in
+      let j = if j >= m then j + 1 else j in
+      r.local_tries <- r.local_tries + 1;
+      ignore
+        (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
+             handle_local_request t reg j seq ~origin:m))
+    end;
+    r.local_timer <-
+      Some (Sim.schedule ctx.sim ~delay:t.local_retry (fun () -> local_round t reg m seq r))
+  end
+
+(* one remote round: with probability lambda/n ask a random parent-region
+   member through the fabric; the timer is armed regardless *)
+and remote_round t reg m seq r =
+  if reg.parent >= 0 && not (tries_exhausted t r.remote_tries) then begin
+    let ctx = t.ctxs.(reg.shard) in
+    let p = Float.min 1.0 (t.config.Config.lambda /. float_of_int reg.size) in
+    r.remote_tries <- r.remote_tries + 1;
+    if Rng.bernoulli reg.rngs.(m) ~p then begin
+      let parent = t.regs.(reg.parent) in
+      let pm = Rng.int reg.rngs.(m) parent.size in
+      Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:parent.r_id ~dst_member:pm
+        ~arrival:(Sim.now ctx.sim +. t.intra +. t.inter)
+        (Remote_request { seq; origin_region = reg.r_id; origin_member = m })
+    end;
+    r.remote_timer <-
+      Some (Sim.schedule ctx.sim ~delay:t.remote_retry (fun () -> remote_round t reg m seq r))
+  end
+
+(* a region neighbour asked [m] for [seq]; a bufferer touches the entry
+   (feedback) and replies, anyone else ignores it — the requester's
+   timer probes someone else (the paper's local phase) *)
+and handle_local_request t reg m seq ~origin =
+  if Member_soa.buffered reg.soa m seq then begin
+    let ctx = t.ctxs.(reg.shard) in
+    ctx.mh_touches := !(ctx.mh_touches) + 1;
+    Member_soa.touch reg.soa m seq ~now:(Sim.now ctx.sim);
+    ignore
+      (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
+           handle_repair t reg origin seq ~remote:false))
+  end
+
+and handle_repair t reg m seq ~remote =
+  if Member_soa.note_repaired reg.soa m seq then begin
+    accept t reg m seq ~via:`Repair;
+    (* a repair from a remote region is re-multicast locally so
+       neighbours sharing the loss receive it (Section 2.2) *)
+    if remote then begin
+      let ctx = t.ctxs.(reg.shard) in
+      ignore
+        (Sim.schedule ctx.sim ~delay:t.intra (fun () -> regional_sweep t reg seq ~src:m))
+    end
+  end
+  else begin
+    (* duplicate repair: feedback only *)
+    let ctx = t.ctxs.(reg.shard) in
+    ctx.mh_touches := !(ctx.mh_touches) + 1;
+    Member_soa.touch reg.soa m seq ~now:(Sim.now ctx.sim)
+  end
+
+(* one coalesced event delivering the regional re-multicast of [seq] to
+   every member but the re-sender, in member order *)
+and regional_sweep t reg seq ~src =
+  let ctx = t.ctxs.(reg.shard) in
+  for j = 0 to reg.size - 1 do
+    if j <> src then
+      if Member_soa.note_repaired reg.soa j seq then accept t reg j seq ~via:`Regional
+      else begin
+        ctx.mh_touches := !(ctx.mh_touches) + 1;
+        Member_soa.touch reg.soa j seq ~now:(Sim.now ctx.sim)
+      end
+  done
+
+and handle_data t reg m seq =
+  let fresh =
+    Member_soa.note_data reg.soa m seq ~on_gap:(fun g -> start_recovery t reg m g)
+  in
+  if fresh then accept t reg m seq ~via:`Multicast
+
+(* a session advertisement (or learning a seq exists from a request
+   about it) can reveal losses we hadn't detected yet *)
+let deliver_session t reg m max_seq =
+  Member_soa.note_session reg.soa m ~max_seq ~on_gap:(fun g -> start_recovery t reg m g)
+
+(* Section 3.3's cases, bounded for the scale path: a bufferer touches
+   and replies; a member that never received the seq records the loss
+   for itself (the origin's own timer retries); a member that received
+   and discarded stays silent — no region-wide search at 10^6 scale *)
+let handle_remote_request t reg m ~seq ~origin_region ~origin_member =
+  let ctx = t.ctxs.(reg.shard) in
+  if Member_soa.buffered reg.soa m seq then begin
+    let now = Sim.now ctx.sim in
+    ctx.mh_touches := !(ctx.mh_touches) + 1;
+    Member_soa.touch reg.soa m seq ~now;
+    Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:origin_region
+      ~dst_member:origin_member
+      ~arrival:(now +. t.intra +. t.inter)
+      (Remote_repair seq)
+  end
+  else if not (Member_soa.received reg.soa m seq) then deliver_session t reg m seq
+
+let handle_parcel t region member msg =
+  let reg = t.regs.(region) in
+  match msg with
+  | Data seq -> handle_data t reg member seq
+  | Session max_seq -> deliver_session t reg member max_seq
+  | Remote_request { seq; origin_region; origin_member } ->
+    handle_remote_request t reg member ~seq ~origin_region ~origin_member
+  | Remote_repair seq -> handle_repair t reg member seq ~remote:true
+
+(* ------------------------------------------------------------------ *)
+(* Idle / lifetime deadlines (the two-phase policy over the SoA ring)   *)
+(* ------------------------------------------------------------------ *)
+
+let idle_decision t reg ~member ~seq =
+  let ctx = t.ctxs.(reg.shard) in
+  let now = Sim.now ctx.sim in
+  let c = t.config.Config.expected_bufferers in
+  let keeps =
+    match t.config.Config.selection with
+    | Config.Randomized -> Long_term.decide reg.rngs.(member) ~c ~n:reg.size
+    | Config.Hashed ->
+      Long_term.hashed_decide ~node:(node_of reg member) ~id:(id_of t seq) ~c ~n:reg.size
+  in
+  if keeps then begin
+    if Member_soa.promote_long reg.soa member seq ~now then
+      if ctx.observing then emit t reg member (Events.Promoted_long_term (id_of t seq))
+  end
+  else if Member_soa.drop reg.soa member seq ~now then
+    ctx.mh_discarded := !(ctx.mh_discarded) + 1
+
+let lifetime_expired t reg ~member ~seq =
+  let ctx = t.ctxs.(reg.shard) in
+  if Member_soa.drop reg.soa member seq ~now:(Sim.now ctx.sim) then
+    ctx.mh_discarded := !(ctx.mh_discarded) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Sender: multicast and session fan-out                               *)
+(* ------------------------------------------------------------------ *)
+
+(* session ticker, started on first multicast when configured; remote
+   regions get one fabric fanout each, the sender's own region one
+   coalesced local event *)
+let rec session_tick t interval =
+  let sreg = t.regs.(0) in
+  let ctx = t.ctxs.(sreg.shard) in
+  if t.next_seq > 0 then begin
+    let max_seq = t.next_seq - 1 in
+    let now = Sim.now ctx.sim in
+    if sreg.size > 1 then
+      ignore
+        (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
+             for m = 1 to sreg.size - 1 do
+               deliver_session t sreg m max_seq
+             done));
+    for r = 1 to Array.length t.regs - 1 do
+      let reg = t.regs.(r) in
+      let dsts = Array.init reg.size (fun i -> i) in
+      Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
+        ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
+        ~dsts (Session max_seq)
+    done
+  end;
+  ignore (Sim.schedule ctx.sim ~delay:interval (fun () -> session_tick t interval))
+
+let ensure_sessions t =
+  if not t.session_on then
+    match t.config.Config.session_interval with
+    | None -> ()
+    | Some interval ->
+      t.session_on <- true;
+      let sreg = t.regs.(0) in
+      ignore
+        (Sim.schedule t.ctxs.(sreg.shard).sim ~delay:interval (fun () ->
+             session_tick t interval))
+
+let multicast t ~reach =
+  if t.next_seq >= t.cap then invalid_arg "Sharded.multicast: sequence capacity exhausted";
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  ensure_sessions t;
+  let sreg = t.regs.(0) in
+  let ctx = t.ctxs.(sreg.shard) in
+  let now = Sim.now ctx.sim in
+  (* the sender's own copy: bookkeeping without a Delivered event,
+     mirroring Member.own_send_bookkeeping *)
+  ignore (Member_soa.note_data sreg.soa 0 seq ~on_gap:(fun _ -> ()));
+  ctx.mh_delivered := !(ctx.mh_delivered) + 1;
+  Member_soa.note_delivery sreg.soa 0;
+  if Member_soa.insert_short sreg.soa 0 seq ~now then
+    if ctx.observing then
+      emit t sreg 0 (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term });
+  (* fan out, consulting [reach] in (region, member) order; the local
+     region is one coalesced event, every other region one parcel *)
+  for r = 0 to Array.length t.regs - 1 do
+    let reg = t.regs.(r) in
+    let cnt = ref 0 in
+    let first = if r = 0 then 1 else 0 in
+    for m = first to reg.size - 1 do
+      if reach ~region:r ~member:m then begin
+        t.scratch.(!cnt) <- m;
+        incr cnt
+      end
+    done;
+    if !cnt > 0 then begin
+      let dsts = Array.sub t.scratch 0 !cnt in
+      if r = 0 then
+        ignore
+          (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
+               Array.iter (fun m -> handle_data t reg m seq) dsts))
+      else
+        Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
+          ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
+          ~dsts (Data seq)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_ms = 50.0)
+    ?observer () =
+  (match Config.validate config with
+   | Ok () -> ()
+   | Error _ -> invalid_arg "Sharded.create: invalid config");
+  let nregions = Array.length sizes in
+  if nregions = 0 then invalid_arg "Sharded.create: at least one region required";
+  if Array.length parents <> nregions then
+    invalid_arg "Sharded.create: sizes and parents must have the same length";
+  if parents.(0) <> -1 then invalid_arg "Sharded.create: region 0 must be the root (parent -1)";
+  for r = 1 to nregions - 1 do
+    if parents.(r) < 0 || parents.(r) >= r then
+      invalid_arg "Sharded.create: parents must be topologically ordered toward region 0"
+  done;
+  Array.iter
+    (fun s -> if s <= 0 then invalid_arg "Sharded.create: region sizes must be positive")
+    sizes;
+  if cap <= 0 then invalid_arg "Sharded.create: cap must be positive";
+  if shards < 1 || shards > nregions then
+    invalid_arg "Sharded.create: shards must be in [1, regions]";
+  let quantum = config.Config.deadline_quantum in
+  if quantum <= 0.0 then
+    invalid_arg "Sharded.create: config.deadline_quantum must be positive";
+  if intra_ms <= 0.0 || inter_ms <= 0.0 then
+    invalid_arg "Sharded.create: latencies must be positive";
+  if intra_ms +. inter_ms < quantum then
+    invalid_arg "Sharded.create: intra_ms + inter_ms must cover one deadline quantum";
+  let make_ctx s =
+    let metrics = Metrics.create () in
+    let obs = match observer with None -> None | Some f -> f s in
+    {
+      sim = Sim.create ();
+      metrics;
+      mh_delivered = Metrics.handle metrics "rrmp.delivered";
+      mh_touches = Metrics.handle metrics "rrmp.feedback_touches";
+      mh_discarded = Metrics.handle metrics "rrmp.discarded";
+      observer = obs;
+      observing = obs <> None;
+    }
+  in
+  let ctxs = Array.make shards (make_ctx 0) in
+  for s = 1 to shards - 1 do
+    ctxs.(s) <- make_ctx s
+  done;
+  (* contiguous block partition: shard s owns [s*R/S, (s+1)*R/S) *)
+  let shard_of = Array.make nregions 0 in
+  for s = 0 to shards - 1 do
+    let lo = s * nregions / shards and hi = (s + 1) * nregions / shards in
+    for r = lo to hi - 1 do
+      shard_of.(r) <- s
+    done
+  done;
+  let hops_of = Array.make nregions 0 in
+  for r = 1 to nregions - 1 do
+    hops_of.(r) <- hops_of.(parents.(r)) + 1
+  done;
+  let idle_timeout =
+    match config.Config.idle_rounds with
+    | Some rounds -> rounds *. (2.0 *. intra_ms)
+    | None -> config.Config.idle_threshold
+  in
+  (* the fabric's deliver callback and the per-region deadline
+     callbacks close over [t] through this cell; they only ever fire
+     from inside event loops, long after [create] returns *)
+  let t_cell = ref None in
+  let get_t () = match !t_cell with Some t -> t | None -> assert false in
+  let make_region r base =
+    let shard = shard_of.(r) in
+    let sim = ctxs.(shard).sim in
+    let soa =
+      Member_soa.create ~sim ~n:sizes.(r) ~cap ~quantum ~idle_timeout
+        ~lifetime:config.Config.long_term_lifetime
+        ~on_idle:(fun ~member ~seq ->
+          let t = get_t () in
+          idle_decision t t.regs.(r) ~member ~seq)
+        ~on_lifetime:(fun ~member ~seq ->
+          let t = get_t () in
+          lifetime_expired t t.regs.(r) ~member ~seq)
+        ()
+    in
+    (* region streams are substreams of the seed indexed by region id —
+       independent of the region-to-shard assignment — and member
+       generators are split from them in member order *)
+    let rng0 = Rng.substream ~seed ~index:r in
+    let rngs = Array.make sizes.(r) rng0 in
+    for m = 0 to sizes.(r) - 1 do
+      rngs.(m) <- Rng.split rng0
+    done;
+    {
+      r_id = r;
+      shard;
+      size = sizes.(r);
+      base;
+      parent = parents.(r);
+      hops = hops_of.(r);
+      soa;
+      rngs;
+      recoveries = Key_tbl.create 16;
+      recovered = 0;
+      latency_sum = 0.0;
+    }
+  in
+  let regs = Array.make nregions (make_region 0 0) in
+  let base = ref sizes.(0) in
+  for r = 1 to nregions - 1 do
+    regs.(r) <- make_region r !base;
+    base := !base + sizes.(r)
+  done;
+  let max_size = Array.fold_left (fun acc s -> if s > acc then s else acc) 0 sizes in
+  let fabric =
+    Fabric.create ~regions:nregions ~quantum
+      ~sim_of:(fun r -> ctxs.(shard_of.(r)).sim)
+      ~deliver:(fun ~region ~member msg -> handle_parcel (get_t ()) region member msg)
+  in
+  let rtt = 2.0 *. intra_ms in
+  let t =
+    {
+      config;
+      quantum;
+      intra = intra_ms;
+      inter = inter_ms;
+      local_retry = Float.max config.Config.min_timer (config.Config.rtt_multiplier *. rtt);
+      remote_retry =
+        Float.max config.Config.min_timer
+          (config.Config.rtt_multiplier *. (2.0 *. (intra_ms +. inter_ms)));
+      cap;
+      total = !base;
+      regs;
+      ctxs;
+      fabric;
+      scratch = Array.make max_size 0;
+      sender_node = Node_id.of_int 0;
+      next_seq = 0;
+      session_on = false;
+    }
+  in
+  t_cell := Some t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Driving and reading out                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run t ~until =
+  let sims = Array.make (Array.length t.ctxs) t.ctxs.(0).sim in
+  for s = 1 to Array.length t.ctxs - 1 do
+    sims.(s) <- t.ctxs.(s).sim
+  done;
+  Engine.Shard.run ~sims ~quantum:t.quantum ~until
+    ~exchange:(fun ~barrier -> Fabric.exchange t.fabric ~barrier)
+    ();
+  Array.iter (fun reg -> Member_soa.settle_all reg.soa ~now:until) t.regs
+
+let delivered_total t =
+  let sum = ref 0 in
+  Array.iter
+    (fun reg ->
+      for m = 0 to reg.size - 1 do
+        sum := !sum + Member_soa.deliveries reg.soa m
+      done)
+    t.regs;
+  !sum
+
+let touches_total t =
+  Array.fold_left
+    (fun acc ctx -> acc + Metrics.counter ctx.metrics "rrmp.feedback_touches")
+    0 t.ctxs
+
+let recovered_total t = Array.fold_left (fun acc reg -> acc + reg.recovered) 0 t.regs
+
+let recovery_latency_sum t =
+  Array.fold_left (fun acc reg -> acc +. reg.latency_sum) 0.0 t.regs
+
+let occupancy_msg_ms_total t =
+  let sum = ref 0.0 in
+  Array.iter
+    (fun reg ->
+      for m = 0 to reg.size - 1 do
+        sum := !sum +. Member_soa.occupancy_msg_ms reg.soa m
+      done)
+    t.regs;
+  !sum
+
+let peak_buffered t =
+  let peak = ref 0 in
+  Array.iter
+    (fun reg ->
+      for m = 0 to reg.size - 1 do
+        let p = Member_soa.peak_size reg.soa m in
+        if p > !peak then peak := p
+      done)
+    t.regs;
+  !peak
+
+let sim_events t =
+  Array.fold_left (fun acc ctx -> acc + Sim.events_executed ctx.sim) 0 t.ctxs
+
+let cross_region_parcels t = Fabric.posted t.fabric
+
+let long_term_bufferers t ~seq =
+  Array.fold_left (fun acc reg -> acc + Member_soa.promotions_of_seq reg.soa seq) 0 t.regs
+
+let shard_metrics t s = t.ctxs.(s).metrics

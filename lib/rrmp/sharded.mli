@@ -1,0 +1,127 @@
+(** Region-sharded RRMP simulation for 10^5-10^6 members.
+
+    The classic path ({!Group} of {!Member}s over one {!Netsim.Network}
+    and one {!Engine.Sim}) keeps every member as a heap record and runs
+    on a single domain; it tops out around 10^4 members. This module is
+    the scale path: regions are partitioned over [shards] independent
+    {!Engine.Sim}s driven in conservative-time lock-step by
+    {!Engine.Shard.run}, per-member hot state lives in the
+    struct-of-arrays arenas of {!Member_soa}, and all cross-region
+    traffic — the bounded remote-recovery flow plus the sender's
+    multicast/session fan-out — crosses shards in batches at
+    deadline-quantum barriers through {!Netsim.Fabric}.
+
+    {2 Determinism}
+
+    The observable result is byte-identical for every shard count and
+    worker count:
+    - every region draws from its own {!Engine.Rng.substream} of the
+      seed (indexed by region id, not shard id), and its members'
+      generators are split from it in member order;
+    - {e every} cross-region packet is quantized through the barrier
+      exchange, even between regions sharing a shard, and injected in
+      ascending source-region / emission order;
+    - regions share no mutable state otherwise, so within-region event
+      order is independent of which regions co-reside on a shard;
+    - floating-point statistics (recovery latency, occupancy) are
+      accumulated per region in its own event order and folded in
+      region order, never in shard or domain order.
+
+    {2 Workload model}
+
+    One multicast source (region 0, member 0) with bounded sequence
+    numbers [0, cap); constant intra-region latency and per-hop
+    inter-region latency with [intra + inter >= deadline_quantum] (the
+    conservative-barrier premise, checked at {!create}); losses are
+    injected by the caller's [reach] predicate. Recovery, buffering,
+    idle/lifetime deadlines and session messages follow {!Member}'s
+    two-phase semantics (local probes, lambda/n remote requests to the
+    parent region, regional re-multicast of remote repairs).
+
+    {2 Per-shard observability}
+
+    Each shard owns its {!Tracing.Metrics} registry and optional
+    {!Events} observer, so hot-path emission gating is checked against
+    the owning shard's observer — never a cross-domain shared one — and
+    the unobserved path allocates nothing regardless of worker count.
+    Merged counters are summed in shard order (integers, so the merge
+    is exact and order-free). *)
+
+type t
+
+val create :
+  seed:int ->
+  config:Config.t ->
+  sizes:int array ->
+  parents:int array ->
+  shards:int ->
+  cap:int ->
+  ?intra_ms:float ->
+  ?inter_ms:float ->
+  ?observer:(int -> Events.observer option) ->
+  unit ->
+  t
+(** [create ~seed ~config ~sizes ~parents ~shards ~cap ()] builds a
+    sharded session: region [r] has [sizes.(r)] members and parent
+    region [parents.(r)] ([-1] for the root; [parents.(r) < r] so the
+    forest is topologically ordered, and every region must reach region
+    0, the sender's). [cap] bounds the sequence-number space.
+    [observer] is a per-shard factory, called once per shard with the
+    shard id ({!Events} observers must not be shared across shards:
+    they run on that shard's domain). Default latencies are the paper's
+    5 ms intra / 50 ms inter.
+    @raise Invalid_argument on an invalid config
+    ([config.deadline_quantum] must be positive), malformed region
+    forest, [shards] outside [1, regions], non-positive sizes or [cap],
+    or [intra_ms +. inter_ms < config.deadline_quantum]. *)
+
+val regions : t -> int
+
+val shards : t -> int
+
+val size : t -> int
+(** Total members. *)
+
+val sender_sim : t -> Engine.Sim.t
+(** The sender shard's event loop — schedule multicast bursts here. *)
+
+val multicast : t -> reach:(region:int -> member:int -> bool) -> unit
+(** Multicast the next sequence number from the sender; must be called
+    from within the sender shard's event loop (e.g. a callback
+    scheduled on {!sender_sim}). [reach] is consulted once per
+    destination in (region, member) order; the sender always receives
+    its own message. Starts the session ticker on first use when
+    [config.session_interval] is set.
+    @raise Invalid_argument once [cap] messages have been sent. *)
+
+val run : t -> until:float -> unit
+(** Drive every shard to virtual time [until] through the conservative
+    barrier loop, then settle occupancy integrals at [until]. *)
+
+(** {2 Merged statistics} (deterministic: folded in region order) *)
+
+val delivered_total : t -> int
+
+val touches_total : t -> int
+(** Sum of the per-shard ["rrmp.feedback_touches"] counters. *)
+
+val recovered_total : t -> int
+
+val recovery_latency_sum : t -> float
+
+val occupancy_msg_ms_total : t -> float
+
+val peak_buffered : t -> int
+
+val sim_events : t -> int
+(** Sum over shards of {!Engine.Sim.events_executed}. *)
+
+val cross_region_parcels : t -> int
+(** Parcels that crossed a barrier ({!Netsim.Fabric.posted}). *)
+
+val long_term_bufferers : t -> seq:int -> int
+(** How many members promoted [seq] to long-term, summed over regions —
+    compare with the paper's Poisson(C) prediction. *)
+
+val shard_metrics : t -> int -> Tracing.Metrics.t
+(** The given shard's private metrics registry. *)

@@ -15,6 +15,7 @@ let () =
          Test_baselines.suites;
          Test_experiments.suites;
          Test_parallel.suites;
+         Test_shard.suites;
          Test_properties.suites;
          Test_edge_cases.suites;
          Test_misc.suites;
