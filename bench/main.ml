@@ -25,6 +25,12 @@
    members x shards sweep (Rrmp.Sharded over Engine.Shard), whose rows
    re-assert the shard-count identity guarantee while timing it.
 
+   Part 6 (BENCH_alloc.json) is the per-path allocation-gate report:
+   minor-heap words per op for each named hot path (deliver, gap-note,
+   local/remote repair, regional-repair fan-out, deadline touch)
+   against the budgets in Experiments.Alloc_paths — the same table
+   the rrmp.allocation_gates test suite asserts on every dune runtest.
+
    Usage:
      main.exe              full reproduction + benchmarks + JSON files
      main.exe --smoke      one reduced Bechamel iteration per test, then
@@ -39,7 +45,10 @@
      main.exe --shard-check run the sharded scale experiment at
                            --shards 1 and 4 and exit nonzero if the
                            reports differ (CI guard)
-     main.exe --scale-only just the two scale sweeps + BENCH_scale.json *)
+     main.exe --scale-only just the two scale sweeps + BENCH_scale.json
+     main.exe --alloc-gates just the allocation gates + BENCH_alloc.json
+                           (--smoke shrinks op counts; budgets are
+                           identical either way) *)
 
 let reproduce () =
   Format.printf "=====================================================================@.";
@@ -421,6 +430,23 @@ let validate_json path =
     Format.printf "validated %s (%d results)@." path (List.length results)
 
 (* ------------------------------------------------------------------ *)
+(* Shared GC sampling harness                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every suite that charges wall-clock or minor-heap words to a
+   workload funnels through this one window: minor words are read
+   outermost (the counter is per-domain and monotonic, so enclosing
+   the clock reads costs a constant few words, amortized over the
+   suites' op counts), wall-clock innermost. *)
+let gc_sampled f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (v, wall_s, words)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel runner: sequential vs multi-domain wall-clock              *)
 (* ------------------------------------------------------------------ *)
 
@@ -508,13 +534,12 @@ type state_result = {
 let measure_state ~runs ~ops st_name f =
   ignore (Sys.opaque_identity (f ()));
   let keep = ref 0 in
-  let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to runs do
-    keep := !keep + f ()
-  done;
-  let wall_s = Unix.gettimeofday () -. t0 in
-  let words = Gc.minor_words () -. w0 in
+  let (), wall_s, words =
+    gc_sampled (fun () ->
+        for _ = 1 to runs do
+          keep := !keep + f ()
+        done)
+  in
   ignore (Sys.opaque_identity !keep);
   let total = float_of_int (runs * ops) in
   {
@@ -668,13 +693,10 @@ type scale_result = {
 }
 
 let measure_scale ~n ~msgs ~burst ~quantum sc_name =
-  let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  let stats =
-    Experiments.Ext_scale.run_once ~n ~msgs ~burst ~quantum ~seed:1 ~observe:false ()
+  let stats, sc_wall_s, words =
+    gc_sampled (fun () ->
+        Experiments.Ext_scale.run_once ~n ~msgs ~burst ~quantum ~seed:1 ~observe:false ())
   in
-  let sc_wall_s = Unix.gettimeofday () -. t0 in
-  let words = Gc.minor_words () -. w0 in
   {
     sc_name;
     sc_members = n;
@@ -754,11 +776,7 @@ let churn_rings ~members ~msgs ~rounds () =
   (fired, sim)
 
 let measure_churn ~members ~msgs ~quantum sc_name f =
-  let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  let fired, sim = f () in
-  let sc_wall_s = Unix.gettimeofday () -. t0 in
-  let words = Gc.minor_words () -. w0 in
+  let (fired, sim), sc_wall_s, words = gc_sampled f in
   if !fired <> members * msgs then
     failwith (sc_name ^ ": some deadlines never fired");
   {
@@ -844,12 +862,8 @@ let measure_shard_row ~regions ~per_region ~msgs ~burst ~shards ~expect sc_name 
     Experiments.Ext_scale.run_once_sharded ~regions ~per_region ~msgs ~burst ~quantum:10.0
       ~seed:1 ~shards ~observe:false ()
   in
-  let w0 = Gc.minor_words () in
-  let alloc_stats, _, _ = at_jobs 1 run in
-  let words = Gc.minor_words () -. w0 in
-  let t0 = Unix.gettimeofday () in
-  let stats, _, _ = at_jobs shards run in
-  let sc_wall_s = Unix.gettimeofday () -. t0 in
+  let (alloc_stats, _, _), _, words = gc_sampled (fun () -> at_jobs 1 run) in
+  let (stats, _, _), sc_wall_s, _ = gc_sampled (fun () -> at_jobs shards run) in
   let delivered = stats.Experiments.Ext_scale.delivered in
   let events = stats.Experiments.Ext_scale.sim_events in
   if
@@ -883,6 +897,7 @@ let measure_soa_touch ~members ~msgs ~rounds sc_name =
       ~lifetime:None
       ~on_idle:(fun ~member:_ ~seq:_ -> ())
       ~on_lifetime:(fun ~member:_ ~seq:_ -> ())
+      ~on_gap:(fun ~member:_ ~seq:_ -> ())
       ()
   in
   for m = 0 to members - 1 do
@@ -891,21 +906,21 @@ let measure_soa_touch ~members ~msgs ~rounds sc_name =
     done
   done;
   let ops = members * msgs * rounds in
-  let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  for r = 1 to rounds do
-    (* opaque_identity keeps [now] boxed: the classic compiler unboxes
-       a let-bound float and re-boxes it at every call site, which
-       would charge 2 words/op to the harness, not the touch path *)
-    let now = Sys.opaque_identity (float_of_int (20 * r)) in
-    for m = 0 to members - 1 do
-      for s = 0 to msgs - 1 do
-        Rrmp.Member_soa.touch soa m s ~now
-      done
-    done
-  done;
-  let sc_wall_s = Unix.gettimeofday () -. t0 in
-  let words = Gc.minor_words () -. w0 in
+  let (), sc_wall_s, words =
+    gc_sampled (fun () ->
+        for r = 1 to rounds do
+          (* opaque_identity keeps [now] boxed: the classic compiler
+             unboxes a let-bound float and re-boxes it at every call
+             site, which would charge 2 words/op to the harness, not
+             the touch path *)
+          let now = Sys.opaque_identity (float_of_int (20 * r)) in
+          for m = 0 to members - 1 do
+            for s = 0 to msgs - 1 do
+              Rrmp.Member_soa.touch soa m s ~now
+            done
+          done
+        done)
+  in
   {
     sc_name;
     sc_members = members;
@@ -984,6 +999,41 @@ let scale_result_json r =
     | Some (key, s) -> [ (key, Tracing.Json.Float s) ]
     | None -> [])
 
+(* ------------------------------------------------------------------ *)
+(* Allocation gates (BENCH_alloc.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-path budgets live in Experiments.Alloc_paths (the same table
+   test/test_alloc_gates.ml asserts under dune runtest); this component
+   reports the measured words/op into the trajectory JSON and fails
+   loudly if a gate is violated, so a full bench run can never publish
+   numbers that the test suite would reject. *)
+
+let alloc_result_json (r : Experiments.Alloc_paths.result) =
+  Tracing.Json.Obj
+    [
+      ("name", Tracing.Json.String r.Experiments.Alloc_paths.name);
+      ("what", Tracing.Json.String r.Experiments.Alloc_paths.what);
+      ("ops", Tracing.Json.Int r.Experiments.Alloc_paths.ops);
+      ( "minor_words_per_op",
+        Tracing.Json.Float r.Experiments.Alloc_paths.minor_words_per_op );
+      ("ns_per_op", Tracing.Json.Float r.Experiments.Alloc_paths.ns_per_op);
+      ("budget_words_per_op", Tracing.Json.Float r.Experiments.Alloc_paths.budget);
+      ("exact", Tracing.Json.Bool r.Experiments.Alloc_paths.exact);
+    ]
+
+let run_alloc_gates ~smoke () =
+  let results = Experiments.Alloc_paths.run ~quick:smoke () in
+  List.iter (fun r -> Format.printf "  %a@." Experiments.Alloc_paths.pp_result r) results;
+  write_json "BENCH_alloc.json"
+    (suite_json ~suite:"alloc-gates" ~smoke (List.map alloc_result_json results));
+  if smoke then validate_json "BENCH_alloc.json";
+  match Experiments.Alloc_paths.failures results with
+  | [] -> ()
+  | fs ->
+    List.iter print_endline fs;
+    failwith "allocation gates violated"
+
 (* --shard-check: the sharded analogue of --det-check — the quick
    sharded scale experiment at --shards 1 vs --shards 4, byte-compared
    (also exercised registry-wide by test/test_shard.ml) *)
@@ -1057,6 +1107,10 @@ let bench ~smoke ~jobs ~max_shards () =
   Format.printf " Region-sharded sweep (members x shards, max %d shards)@." max_shards;
   Format.printf "---------------------------------------------------------------------@.";
   let scales = scales @ run_shard_sweep ~smoke ~max_shards () in
+  Format.printf "---------------------------------------------------------------------@.";
+  Format.printf " Allocation gates (minor words per hot-path op)@.";
+  Format.printf "---------------------------------------------------------------------@.";
+  run_alloc_gates ~smoke ();
   write_json "BENCH_engine.json"
     (suite_json ~suite:"engine" ~smoke (List.rev_map bench_result_json engine));
   write_json "BENCH_protocol.json"
@@ -1093,6 +1147,10 @@ let () =
     argv;
   if Array.exists (String.equal "--det-check") argv then exit (det_check ())
   else if Array.exists (String.equal "--shard-check") argv then exit (shard_check ())
+  else if Array.exists (String.equal "--alloc-gates") argv then
+    (* just the per-path allocation gates + BENCH_alloc.json; --smoke
+       shrinks the op counts (budgets are identical) *)
+    run_alloc_gates ~smoke:(Array.exists (String.equal "--smoke") argv) ()
   else if Array.exists (String.equal "--scale-only") argv then begin
     (* just the ring-vs-timers + sharded sweeps + their JSON, for quick
        iteration *)

@@ -1,21 +1,42 @@
-type t = { mutable state : int64 }
+(* splitmix64 (Steele, Lea & Flood 2014) with the murmur-style variant-13
+   finalizer.
+
+   The 64-bit state lives in an 8-byte [Bytes.t] accessed through the
+   native-endian [get_int64_ne]/[set_int64_ne] primitives rather than a
+   mutable [int64] record field: a boxed-int64 field costs a fresh
+   3-word box on every store, which would charge every random draw on
+   the simulation hot paths. With the Bytes backing, the integer and
+   boolean draws below keep the whole scramble in unboxed locals and
+   allocate nothing; only the [float]-returning draws pay the 2-word
+   result box the calling convention requires. The output stream is
+   bit-for-bit the same as the boxed implementation. *)
+
+type t = { state : Bytes.t }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = Int64.of_int seed }
+let of_raw v =
+  let state = Bytes.create 8 in
+  Bytes.set_int64_ne state 0 v;
+  { state }
 
-let copy t = { state = t.state }
+let create ~seed = of_raw (Int64.of_int seed)
 
-(* splitmix64: advance by the golden gamma and scramble with the
-   murmur-style finalizer (variant 13 constants). *)
+let copy t = of_raw (Bytes.get_int64_ne t.state 0)
+
+(* advance by the golden gamma and scramble. Open-coded (rather than
+   shared through a [bits64]-style helper) in each non-float draw so
+   the int64 chain stays in registers end to end: a cross-function
+   int64 return is a boxed value even when the callee allocates
+   nothing internally. *)
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+  Bytes.set_int64_ne t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t = { state = bits64 t }
+let split t = of_raw (bits64 t)
 
 (* the [index]-th child stream of [seed], without materializing the
    parent: offset the state by index gammas and scramble once, so
@@ -25,11 +46,19 @@ let split t = { state = bits64 t }
    assignment *)
 let substream ~seed ~index =
   if index < 0 then invalid_arg "Rng.substream: index must be non-negative";
-  let t = { state = Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int index)) } in
-  { state = bits64 t }
+  let t =
+    of_raw (Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int index)))
+  in
+  of_raw (bits64 t)
 
 (* 62 random bits: always representable as a non-negative OCaml int *)
-let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+let nonneg t =
+  let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+  Bytes.set_int64_ne t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -53,12 +82,28 @@ let uniform t =
 
 let float t bound = uniform t *. bound
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+  Bytes.set_int64_ne t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.logand z 1L = 1L
 
 let bernoulli t ~p =
   if p <= 0.0 then false
   else if p >= 1.0 then true
-  else uniform t < p
+  else begin
+    (* uniform, open-coded so the comparison happens before the float
+       would need to be boxed as a return value *)
+    let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+    Bytes.set_int64_ne t.state 0 s;
+    let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let bits = Int64.shift_right_logical z 11 in
+    Int64.to_float bits *. (1.0 /. 9007199254740992.0) < p
+  end
 
 let exponential t ~mean =
   if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";

@@ -57,6 +57,11 @@ let create ?(now = 0.0) ?(wheel = true) () =
     executed = 0;
   }
 
+(* a pre-fired handle shared by everyone: lets "no timer armed" be a
+   plain handle-valued field instead of an option, so hot state
+   machines re-arm timers without boxing [Some handle] every round *)
+let never = { at = infinity; seq = max_int; action = ignore; state = 2; cancels = ref 0 }
+
 let now t = t.clock
 
 let pending t = (if t.head == t.nil then 0 else 1) + t.queued
@@ -199,3 +204,5 @@ let run ?until ?max_events t =
     | Some _ | None -> ()
 
 let events_executed t = t.executed
+
+let events_scheduled t = t.next_seq

@@ -17,6 +17,11 @@ type t
 type handle
 (** A scheduled event that can be cancelled before it fires. *)
 
+val never : handle
+(** A shared, already-fired handle: {!cancel} and {!cancelled} treat it
+    as inert. Use it as the "no timer armed" value of a handle-valued
+    field, avoiding an [option] box per re-arm on hot paths. *)
+
 val create : ?now:float -> ?wheel:bool -> unit -> t
 (** Fresh simulation with the clock at [now] (default 0.0 ms). [wheel]
     (default [true]) routes short-horizon events through the timer
@@ -64,3 +69,8 @@ val step : t -> bool
 
 val events_executed : t -> int
 (** Total callbacks run since creation. *)
+
+val events_scheduled : t -> int
+(** Total events ever scheduled (fired, pending or cancelled): the
+    difference against {!events_executed} is the cancellation traffic,
+    and each unit of it is one handle allocation on the hot path. *)

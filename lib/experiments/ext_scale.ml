@@ -69,7 +69,7 @@ let run_once ~n ~msgs ~burst ?(gap = 25.0) ?(loss_frac = 0.05) ?(lifetime = 400.
            for _ = 1 to count do
              ignore
                (Rrmp.Group.multicast_reaching group
-                  ~reach:(fun _node -> Engine.Rng.float reach_rng 1.0 >= loss_frac)
+                  ~reach:(fun _node -> not (Engine.Rng.bernoulli reach_rng ~p:loss_frac))
                   ())
            done))
   done;
@@ -194,7 +194,7 @@ let run_once_sharded ~regions ~per_region ~msgs ~burst ?(gap = 25.0) ?(loss_frac
       (Engine.Sim.schedule_at sim ~at:(float_of_int b *. gap) (fun () ->
            for _ = 1 to count do
              Rrmp.Sharded.multicast sharded ~reach:(fun ~region:_ ~member:_ ->
-                 Engine.Rng.float reach_rng 1.0 >= loss_frac)
+                 not (Engine.Rng.bernoulli reach_rng ~p:loss_frac))
            done))
   done;
   let horizon = (float_of_int bursts *. gap) +. lifetime +. 2_000.0 in

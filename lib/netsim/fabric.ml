@@ -1,65 +1,144 @@
-(* Per-region outboxes, drained at barriers. Parcels are prepended
-   during the window (each outbox is written only by the shard that
-   owns its region) and reversed once at exchange time, which runs on
-   the coordinating domain while every shard is parked — the
-   Pool.parallel_for completion barrier orders the writes before the
-   reads, so no further synchronization is needed. *)
+(* Per-region outboxes, drained at barriers.
 
-type 'msg parcel = {
-  dst_region : int;
-  arrival : float;
-  msg : 'msg;
-  (* dst_member for unicasts; [dsts] non-empty for fanouts *)
-  dst_member : int;
-  dsts : int array;
+   Zero-allocation steady state: a parcel is a pooled mutable slot
+   carrying its own pre-allocated fire thunk and a reusable destination
+   buffer the fanout targets are copied into (so callers can hand in a
+   scratch array they immediately reuse). Outboxes and the free list
+   are growable slot vectors — appended during the window, drained in
+   index order at exchange time — so once the pools have warmed up,
+   posting and injecting a parcel allocates nothing beyond the Sim
+   event that fires it.
+
+   Concurrency: each outbox is written only by the shard that owns its
+   source region; [exchange] runs on the coordinating domain while
+   every shard is parked — the Pool.parallel_for completion barrier
+   orders the writes before the reads. Slots are recycled from inside
+   the destination shard's event loop into the shared free list, which
+   is safe for the same reason: recycling happens during windows, and
+   posting (which pops the free list) also happens during windows, but
+   a slot only reaches the free list after its fire event ran in a
+   window preceding the post that would reuse it. *)
+
+type 'msg slot = {
+  mutable s_region : int;  (* destination region *)
+  mutable s_member : int;  (* unicast destination; -1 for fanouts *)
+  mutable s_arrival : float;
+  mutable s_msg : 'msg;
+  mutable s_dsts : int array;  (* capacity >= s_len, reused across lives *)
+  mutable s_len : int;
+  mutable s_fire : unit -> unit;  (* tied to the slot once, at creation *)
 }
+
+(* growable vector of slots; [Array.make] is seeded with the pushed
+   slot itself, so no dummy element is ever needed *)
+type 'msg vec = {
+  mutable arr : 'msg slot array;
+  mutable len : int;
+}
+
+let vec_push v s =
+  let cap = Array.length v.arr in
+  if v.len = cap then begin
+    let narr = Array.make (if cap = 0 then 8 else 2 * cap) s in
+    Array.blit v.arr 0 narr 0 v.len;
+    v.arr <- narr
+  end;
+  Array.unsafe_set v.arr v.len s;
+  v.len <- v.len + 1
 
 type 'msg t = {
   sim_of : int -> Engine.Sim.t;
   deliver : region:int -> member:int -> 'msg -> unit;
-  outboxes : 'msg parcel list array; (* per source region, newest first *)
+  outboxes : 'msg vec array;  (* per source region, in emission order *)
+  free : 'msg vec;  (* recycled slots *)
   mutable total_posted : int;
 }
 
 let create ~regions ~quantum ~sim_of ~deliver =
   if regions < 0 then invalid_arg "Fabric.create: regions must be non-negative";
   if quantum <= 0.0 then invalid_arg "Fabric.create: quantum must be positive";
-  { sim_of; deliver; outboxes = Array.make regions []; total_posted = 0 }
+  {
+    sim_of;
+    deliver;
+    outboxes =
+      ((Array.init regions (fun _ -> { arr = [||]; len = 0 }))
+      [@lint.allow "H2 creation-time initialization, runs once per fabric"]);
+    free = { arr = [||]; len = 0 };
+    total_posted = 0;
+  }
 
-let post t ~src_region parcel =
-  t.outboxes.(src_region) <- parcel :: t.outboxes.(src_region);
+(* deliver a fired slot's payload and recycle the slot; installed as
+   [s_fire] when the slot is first created *)
+let fire t s =
+  if s.s_member >= 0 then t.deliver ~region:s.s_region ~member:s.s_member s.s_msg
+  else
+    for i = 0 to s.s_len - 1 do
+      t.deliver ~region:s.s_region ~member:(Array.unsafe_get s.s_dsts i) s.s_msg
+    done;
+  vec_push t.free s
+
+let alloc_slot t msg =
+  if t.free.len > 0 then begin
+    t.free.len <- t.free.len - 1;
+    let s = Array.unsafe_get t.free.arr t.free.len in
+    s.s_msg <- msg;
+    s
+  end
+  else begin
+    let s =
+      {
+        s_region = 0;
+        s_member = -1;
+        s_arrival = 0.0;
+        s_msg = msg;
+        s_dsts = [||];
+        s_len = 0;
+        s_fire = ignore;
+      }
+    in
+    s.s_fire <- (fun () -> fire t s);
+    s
+  end
+
+let post t ~src_region s =
+  vec_push t.outboxes.(src_region) s;
   t.total_posted <- t.total_posted + 1
 
 let unicast t ~src_region ~dst_region ~dst_member ~arrival msg =
-  post t ~src_region { dst_region; arrival; msg; dst_member; dsts = [||] }
+  let s = alloc_slot t msg in
+  s.s_region <- dst_region;
+  s.s_member <- dst_member;
+  s.s_arrival <- arrival;
+  s.s_len <- 0;
+  post t ~src_region s
 
-let fanout t ~src_region ~dst_region ~arrival ~dsts msg =
-  post t ~src_region { dst_region; arrival; msg; dst_member = -1; dsts }
-
-let inject t p =
-  let sim = t.sim_of p.dst_region in
-  ignore
-    (Engine.Sim.schedule_at sim ~at:p.arrival (fun () ->
-         if Array.length p.dsts = 0 then
-           t.deliver ~region:p.dst_region ~member:p.dst_member p.msg
-         else
-           Array.iter (fun m -> t.deliver ~region:p.dst_region ~member:m p.msg) p.dsts))
+let fanout t ~src_region ~dst_region ~arrival ~dsts ?n msg =
+  let n = match n with None -> Array.length dsts | Some n -> n in
+  if n < 0 || n > Array.length dsts then invalid_arg "Fabric.fanout: bad destination count";
+  let s = alloc_slot t msg in
+  s.s_region <- dst_region;
+  s.s_member <- -1;
+  s.s_arrival <- arrival;
+  if Array.length s.s_dsts < n then s.s_dsts <- Array.make n 0;
+  Array.blit dsts 0 s.s_dsts 0 n;
+  s.s_len <- n;
+  post t ~src_region s
 
 let exchange t ~barrier =
   let injected = ref 0 in
   for src = 0 to Array.length t.outboxes - 1 do
-    match t.outboxes.(src) with
-    | [] -> ()
-    | newest_first ->
-      t.outboxes.(src) <- [];
-      List.iter
-        (fun p ->
-          if p.arrival +. 1e-9 < barrier then
-            invalid_arg
-              "Fabric.exchange: parcel arrives before the barrier (cross-region delay < quantum)";
-          incr injected;
-          inject t p)
-        (List.rev newest_first)
+    let ob = t.outboxes.(src) in
+    for i = 0 to ob.len - 1 do
+      let s = Array.unsafe_get ob.arr i in
+      if s.s_arrival +. 1e-9 < barrier then
+        invalid_arg
+          "Fabric.exchange: parcel arrives before the barrier (cross-region delay < quantum)";
+      incr injected;
+      ignore (Engine.Sim.schedule_at (t.sim_of s.s_region) ~at:s.s_arrival s.s_fire)
+    done;
+    (* stale slot pointers stay behind in [arr]; the slots are pooled
+       and reused, so pinning them is free *)
+    ob.len <- 0
   done;
   !injected
 

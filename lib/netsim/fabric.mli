@@ -13,7 +13,12 @@
     and each outbox preserves emission order (plain arrays end to end —
     no unordered-container iteration), so for any destination region
     the injection order of its incoming parcels is a pure function of
-    the workload, never of the region-to-shard assignment. *)
+    the workload, never of the region-to-shard assignment.
+
+    Allocation: parcels are pooled mutable slots with pre-allocated
+    fire thunks and reusable destination buffers; outboxes are growable
+    slot vectors. Steady-state posting and injection allocate nothing
+    beyond the {!Engine.Sim} event that fires each parcel. *)
 
 type 'msg t
 
@@ -38,11 +43,22 @@ val unicast :
     lands beyond the next barrier. *)
 
 val fanout :
-  'msg t -> src_region:int -> dst_region:int -> arrival:float -> dsts:int array -> 'msg -> unit
+  'msg t ->
+  src_region:int ->
+  dst_region:int ->
+  arrival:float ->
+  dsts:int array ->
+  ?n:int ->
+  'msg ->
+  unit
 (** Post a batched multi-destination parcel (one per destination region
     of a multicast): at [arrival] the destination shard delivers to
-    every member index in [dsts], in array order, from a single event.
-    The fabric takes ownership of [dsts]. *)
+    every member index in [dsts.(0 .. n-1)] ([n] defaults to the full
+    array), in array order, from a single event. The destinations are
+    copied into the parcel's pooled buffer, so the caller may reuse
+    [dsts] as scratch immediately.
+    @raise Invalid_argument if [n] is negative or exceeds
+    [Array.length dsts]. *)
 
 val exchange : 'msg t -> barrier:float -> int
 (** Drain every outbox (ascending region order, emission order within a

@@ -20,12 +20,17 @@ type 'msg t
     distributed error recovery. *)
 type 'msg bandwidth = { bytes_per_ms : float; packet_bytes : 'msg -> int }
 
+(** The record handed to handlers and the delivery hook is {b pooled}:
+    the network mutates it in place between deliveries, so read the
+    fields during the call and do not retain the record. (Records built
+    by callers, e.g. for {!Rrmp.Member.inject_delivery}-style replay,
+    are ordinary values — only network-owned ones are reused.) *)
 type 'msg delivery = {
-  src : Node_id.t;
-  dst : Node_id.t;
-  msg : 'msg;
-  sent_at : float;  (** virtual send time, ms *)
-  cls : string;  (** traffic class of the packet *)
+  mutable src : Node_id.t;
+  mutable dst : Node_id.t;
+  mutable msg : 'msg;
+  mutable sent_at : float;  (** virtual send time, ms *)
+  mutable cls : string;  (** traffic class of the packet *)
 }
 
 val create :

@@ -70,6 +70,7 @@ type t = {
   view : View.t;
   recv : Recv_log.t;
   buffer : Buffer.t;
+  arena : Wire_arena.t;  (* interned hot-path wire cells *)
   observer : Events.observer option;
   observing : bool;  (* [observer <> None]: gates event construction *)
   recoveries : recovery Msg_id.Table.t;
@@ -331,7 +332,7 @@ let rec local_round t id r =
      | Some q ->
        r.local_tries <- r.local_tries + 1;
        r.last_probe_at <- Sim.now t.sim;
-       send t ~dst:q (Wire.Local_request id));
+       send t ~dst:q (Wire_arena.local_request t.arena id));
     r.local_timer <-
       Some (Sim.schedule t.sim ~delay:(local_timeout t) (fun () -> local_round t id r))
   end
@@ -348,7 +349,7 @@ let rec remote_round t id r =
     if Rng.bernoulli t.rng ~p then begin
       match View.random_parent t.view t.rng with
       | None -> ()
-      | Some remote -> send t ~dst:remote (Wire.Remote_request { id; origin = t.node })
+      | Some remote -> send t ~dst:remote (Wire_arena.remote_request t.arena id)
     end;
     r.remote_timer <-
       Some (Sim.schedule t.sim ~delay:(remote_timeout t) (fun () -> remote_round t id r))
@@ -464,7 +465,7 @@ let serve_from_buffer t id ~origin ?ack ~announce () =
   match Buffer.find t.buffer id with
   | None -> ()
   | Some payload ->
-    send t ~dst:origin (Wire.Repair payload);
+    send t ~dst:origin (Wire_arena.repair t.arena payload);
     if t.observing then emit t (Events.Search_satisfied { id; origin });
     if announce then begin
       if not (Msg_id.Table.mem t.have_announced id) then begin
@@ -486,27 +487,27 @@ let relay_to_waiters t payload =
   (match Msg_id.Table.find_opt t.pending_remote id with
    | None -> ()
    | Some waiting ->
-     Origins.iter waiting (fun origin -> send t ~dst:origin (Wire.Repair payload));
+     Origins.iter waiting (fun origin -> send t ~dst:origin (Wire_arena.repair t.arena payload));
      Msg_id.Table.remove t.pending_remote id);
   (* origins of a search we were running: we can serve them directly *)
   match Msg_id.Table.find_opt t.searches id with
   | None -> ()
   | Some s ->
-    Origins.iter s.origins (fun origin -> send t ~dst:origin (Wire.Repair payload));
+    Origins.iter s.origins (fun origin -> send t ~dst:origin (Wire_arena.repair t.arena payload));
     Origins.clear s.origins;
     cancel_search t id
 
 let schedule_regional_repair t payload =
   let id = Payload.id payload in
   match t.config.Config.regional_send with
-  | Config.Immediate -> regional t (Wire.Regional_repair payload)
+  | Config.Immediate -> regional t (Wire_arena.regional_repair t.arena payload)
   | Config.Backoff { max_delay } ->
     if not (Msg_id.Table.mem t.pending_regional id) then begin
       let delay = Rng.float t.rng max_delay in
       let handle =
         Sim.schedule t.sim ~delay (fun () ->
             Msg_id.Table.remove t.pending_regional id;
-            regional t (Wire.Regional_repair payload))
+            regional t (Wire_arena.regional_repair t.arena payload))
       in
       Msg_id.Table.add t.pending_regional id handle
     end
@@ -564,7 +565,7 @@ let handle_local_request t id ~src =
   if Buffer.mem t.buffer id then begin
     touch_feedback t id;
     match Buffer.find t.buffer id with
-    | Some payload -> send t ~dst:src (Wire.Repair payload)
+    | Some payload -> send t ~dst:src (Wire_arena.repair t.arena payload)
     | None -> ()
   end
   else if t.observing then
@@ -719,6 +720,7 @@ let create ~net ~config ~rng ~node ?observer ?metrics () =
       view;
       recv = Recv_log.create ();
       buffer = Buffer.create ~sim:(Network.sim net);
+      arena = Wire_arena.create ~enabled:config.Config.wire_arena ~origin:node ();
       observer;
       observing = observer <> None;
       recoveries = Msg_id.Table.create 16;
@@ -768,7 +770,7 @@ let create ~net ~config ~rng ~node ?observer ?metrics () =
 let send_session t =
   if t.next_seq > 0 then
     Network.ip_multicast_lossy t.net ~cls:"session" ~src:t.node
-      (Wire.Session { max_seq = t.next_seq - 1 })
+      (Wire_arena.session t.arena ~max_seq:(t.next_seq - 1))
 
 (* a sender starts advertising its highest sequence number once it has
    multicast something (Section 2.1's session messages) *)
@@ -798,13 +800,13 @@ let own_send_bookkeeping t payload =
 let multicast t ?size () =
   let payload = fresh_payload t ~size in
   own_send_bookkeeping t payload;
-  Network.ip_multicast_lossy t.net ~cls:"data" ~src:t.node (Wire.Data payload);
+  Network.ip_multicast_lossy t.net ~cls:"data" ~src:t.node (Wire_arena.data t.arena payload);
   Payload.id payload
 
 let multicast_reaching t ?size ~reach () =
   let payload = fresh_payload t ~size in
   own_send_bookkeeping t payload;
-  Network.ip_multicast t.net ~cls:"data" ~src:t.node ~reach (Wire.Data payload);
+  Network.ip_multicast t.net ~cls:"data" ~src:t.node ~reach (Wire_arena.data t.arena payload);
   Payload.id payload
 
 (* ------------------------------------------------------------------ *)

@@ -8,7 +8,38 @@
    store, and the sweep re-buckets keys whose tick moved. Bucket
    vectors are grow-only int arrays; the bucket table is only ever
    indexed by tick (never iterated), so no unordered-iteration order
-   can escape. *)
+   can escape.
+
+   Off-heap backing: the per-key deadline ticks and the per-member
+   occupancy integrals — the arrays whose size is proportional to
+   n * cap — live in Bigarrays, so a 10^6-member arena costs the OCaml
+   heap a handful of words regardless of how much state it tracks; the
+   GC neither scans nor copies any of it. The gap callback is installed
+   once at [create] (not passed per call): note_data runs on every
+   delivery, and a per-call closure would charge the entire deliver
+   path for the rare gap event. *)
+
+type ticks = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_ticks len : ticks =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  Bigarray.Array1.fill a 0;
+  a
+
+let make_floats len : floats =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let[@inline] ba_get (a : ticks) i = Bigarray.Array1.unsafe_get a i
+
+let[@inline] ba_set (a : ticks) i v = Bigarray.Array1.unsafe_set a i v
+
+let[@inline] fa_get (a : floats) i = Bigarray.Array1.unsafe_get a i
+
+let[@inline] fa_set (a : floats) i v = Bigarray.Array1.unsafe_set a i v
 
 (* tick-keyed buckets: the keys are small positive ints, so identity is
    a perfect hash (functor-made, per the D3 rule) *)
@@ -31,6 +62,7 @@ type t = {
   sim : Engine.Sim.t;
   on_idle : member:int -> seq:int -> unit;
   on_lifetime : member:int -> seq:int -> unit;
+  on_gap : member:int -> seq:int -> unit;
   (* gap detection, arrayified Gap_detect *)
   recv : Bytes.t;  (* n*cap receipt bits *)
   horizon : int array;  (* per member; -1 = nothing known *)
@@ -41,17 +73,17 @@ type t = {
   buf_count : int array;
   buf_long : int array;
   peak : int array;
-  occ_msg_ms : float array;
-  occ_last : float array;
+  occ_msg_ms : floats;
+  occ_last : floats;
   delivered : int array;
   promotions : int array;  (* per seq: long-term bufferers in this region *)
   (* coalesced deadline ring: current tick per key, 0 = unarmed *)
-  idle_tick : int array;
-  life_tick : int array;
+  idle_tick : ticks;
+  life_tick : ticks;
   buckets : bucket Tick_tbl.t;  (* tick -> armed keys (packed with class) *)
 }
 
-let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime () =
+let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime ~on_gap () =
   if n <= 0 then invalid_arg "Member_soa.create: n must be positive";
   if cap <= 0 then invalid_arg "Member_soa.create: cap must be positive";
   if quantum <= 0.0 then invalid_arg "Member_soa.create: quantum must be positive";
@@ -73,6 +105,7 @@ let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime (
     sim;
     on_idle;
     on_lifetime;
+    on_gap;
     recv = Bytes.make ((keys + 7) / 8) '\000';
     horizon = Array.make n (-1);
     missing_cnt = Array.make n 0;
@@ -81,12 +114,12 @@ let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime (
     buf_count = Array.make n 0;
     buf_long = Array.make n 0;
     peak = Array.make n 0;
-    occ_msg_ms = Array.make n 0.0;
-    occ_last = Array.make n 0.0;
+    occ_msg_ms = make_floats n;
+    occ_last = make_floats n;
     delivered = Array.make n 0;
     promotions = Array.make cap 0;
-    idle_tick = Array.make keys 0;
-    life_tick = Array.make keys 0;
+    idle_tick = make_ticks keys;
+    life_tick = make_ticks keys;
     buckets = Tick_tbl.create 64;
   }
 
@@ -119,33 +152,33 @@ let received t m seq =
 (* unreceived seqs in (horizon, upto], ascending, become detected
    losses; [received] above the horizon is possible when a repair for a
    not-yet-detected seq raced the data path, exactly as in Gap_detect *)
-let fresh_gaps t m ~upto ~on_gap =
+let fresh_gaps t m ~upto =
   let base = m * t.cap in
   for s = t.horizon.(m) + 1 to upto do
     if not (bit_get t.recv (base + s)) then begin
       t.missing_cnt.(m) <- t.missing_cnt.(m) + 1;
-      on_gap s
+      t.on_gap ~member:m ~seq:s
     end
   done
 
-let note_data t m seq ~on_gap =
+let note_data t m seq =
   check t m seq;
   let k = key t m seq in
   if bit_get t.recv k then false
   else begin
     if seq <= t.horizon.(m) then t.missing_cnt.(m) <- t.missing_cnt.(m) - 1;
     (* a data packet proves every lower seq exists, but not itself lost *)
-    fresh_gaps t m ~upto:(seq - 1) ~on_gap;
+    fresh_gaps t m ~upto:(seq - 1);
     if seq > t.horizon.(m) then t.horizon.(m) <- seq;
     bit_set t.recv k;
     t.recv_cnt.(m) <- t.recv_cnt.(m) + 1;
     true
   end
 
-let note_session t m ~max_seq ~on_gap =
+let note_session t m ~max_seq =
   check t m max_seq;
   if max_seq > t.horizon.(m) then begin
-    fresh_gaps t m ~upto:max_seq ~on_gap;
+    fresh_gaps t m ~upto:max_seq;
     t.horizon.(m) <- max_seq
   end
 
@@ -175,8 +208,6 @@ let cls_idle = 0
 
 let cls_life = 1
 
-let[@inline] tick_of t deadline = int_of_float (Float.ceil (deadline /. t.quantum))
-
 let[@inline] tick_arr t cls = if cls = cls_idle then t.idle_tick else t.life_tick
 
 let bucket_push b packed =
@@ -188,10 +219,14 @@ let bucket_push b packed =
   b.keys.(b.len) <- packed;
   b.len <- b.len + 1
 
-let rec enqueue t tick packed =
-  match Tick_tbl.find_opt t.buckets tick with
-  | Some b -> bucket_push b packed
-  | None ->
+(* [find]-with-exception, not [find_opt]: arming into an existing
+   bucket is the steady state and must not pay a [Some] box *)
+let[@lint.allow
+     "H2 the sweep thunk is built once per NEW tick bucket and amortized over every key \
+      armed into it; the steady state takes the find arm above"] rec enqueue t tick packed =
+  match Tick_tbl.find t.buckets tick with
+  | b -> bucket_push b packed
+  | exception Not_found ->
     let b = { keys = Array.make 8 0; len = 0 } in
     bucket_push b packed;
     Tick_tbl.add t.buckets tick b;
@@ -204,19 +239,19 @@ let rec enqueue t tick packed =
    deadline was pushed out by a touch re-bucket here (lazily), exactly
    like Dring's sweep *)
 and sweep t tick =
-  match Tick_tbl.find_opt t.buckets tick with
-  | None -> ()
-  | Some b ->
+  match Tick_tbl.find t.buckets tick with
+  | exception Not_found -> ()
+  | b ->
     Tick_tbl.remove t.buckets tick;
     for i = 0 to b.len - 1 do
       let packed = b.keys.(i) in
       let k = packed lsr 1 in
       let cls = packed land 1 in
       let ticks = tick_arr t cls in
-      let cur = ticks.(k) in
+      let cur = ba_get ticks k in
       if cur <> 0 then
         if cur <= tick then begin
-          ticks.(k) <- 0;
+          ba_set ticks k 0;
           let m = k / t.cap in
           let seq = k mod t.cap in
           if cls = cls_idle then t.on_idle ~member:m ~seq else t.on_lifetime ~member:m ~seq
@@ -225,10 +260,13 @@ and sweep t tick =
     done
 
 let arm t cls k ~timeout ~now =
-  let tick = tick_of t (now +. timeout) in
+  (* open-coded tick_of, same reason as [touch]: without flambda the
+     deadline float would be boxed at the call boundary, and the
+     deliver path (insert -> arm) is gated at exactly 0 words/op *)
+  let tick = int_of_float (Float.ceil ((now +. timeout) /. t.quantum)) in
   let ticks = tick_arr t cls in
-  let was = ticks.(k) in
-  ticks.(k) <- tick;
+  let was = ba_get ticks k in
+  ba_set ticks k tick;
   (* an armed key is already in some bucket <= tick and will re-bucket
      at its sweep; only a cold key needs a bucket entry *)
   if was = 0 then enqueue t tick ((k lsl 1) lor cls)
@@ -238,10 +276,11 @@ let arm t cls k ~timeout ~now =
 (* ------------------------------------------------------------------ *)
 
 let settle t m ~now =
-  let dt = now -. t.occ_last.(m) in
+  (* the first read is bounds-checked so a bad public [m] raises *)
+  let dt = now -. Bigarray.Array1.get t.occ_last m in
   if dt > 0.0 then begin
-    t.occ_msg_ms.(m) <- t.occ_msg_ms.(m) +. (float_of_int t.buf_count.(m) *. dt);
-    t.occ_last.(m) <- now
+    fa_set t.occ_msg_ms m (fa_get t.occ_msg_ms m +. (float_of_int t.buf_count.(m) *. dt));
+    fa_set t.occ_last m now
   end
 
 let settle_all t ~now =
@@ -278,10 +317,10 @@ let touch t m seq ~now =
      call boundary: without flambda the [@inline] hint on tick_of is
      advisory, and this path is specified allocation-free (asserted by
      the soa-touch row in the scale bench). *)
-  if t.idle_tick.(k) <> 0 then
-    t.idle_tick.(k) <- int_of_float (Float.ceil ((now +. t.idle_timeout) /. t.quantum));
-  if t.life_tick.(k) <> 0 then
-    t.life_tick.(k) <- int_of_float (Float.ceil ((now +. t.lifetime) /. t.quantum))
+  if ba_get t.idle_tick k <> 0 then
+    ba_set t.idle_tick k (int_of_float (Float.ceil ((now +. t.idle_timeout) /. t.quantum)));
+  if ba_get t.life_tick k <> 0 then
+    ba_set t.life_tick k (int_of_float (Float.ceil ((now +. t.lifetime) /. t.quantum)))
 
 let promote_long t m seq ~now =
   check t m seq;
@@ -291,7 +330,7 @@ let promote_long t m seq ~now =
     Bytes.unsafe_set t.phase k '\002';
     t.buf_long.(m) <- t.buf_long.(m) + 1;
     t.promotions.(seq) <- t.promotions.(seq) + 1;
-    t.idle_tick.(k) <- 0;
+    ba_set t.idle_tick k 0;
     if t.lifetime > 0.0 then arm t cls_life k ~timeout:t.lifetime ~now;
     true
   end
@@ -306,8 +345,8 @@ let drop t m seq ~now =
     Bytes.unsafe_set t.phase k '\000';
     t.buf_count.(m) <- t.buf_count.(m) - 1;
     if p = '\002' then t.buf_long.(m) <- t.buf_long.(m) - 1;
-    t.idle_tick.(k) <- 0;
-    t.life_tick.(k) <- 0;
+    ba_set t.idle_tick k 0;
+    ba_set t.life_tick k 0;
     true
   end
 
@@ -317,7 +356,7 @@ let long_count t m = t.buf_long.(m)
 
 let peak_size t m = t.peak.(m)
 
-let occupancy_msg_ms t m = t.occ_msg_ms.(m)
+let occupancy_msg_ms t m = Bigarray.Array1.get t.occ_msg_ms m
 
 let deliveries t m = t.delivered.(m)
 

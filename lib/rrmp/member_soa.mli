@@ -28,6 +28,7 @@ val create :
   lifetime:float option ->
   on_idle:(member:int -> seq:int -> unit) ->
   on_lifetime:(member:int -> seq:int -> unit) ->
+  on_gap:(member:int -> seq:int -> unit) ->
   unit ->
   t
 (** Arena for [n] members and sequence numbers [0, cap) of one source.
@@ -36,6 +37,16 @@ val create :
     touch (into [on_lifetime]). Deadlines are coalesced on a
     [quantum]-ms ring exactly like {!Engine.Dring}: they fire up to one
     quantum late, never early, in arming order within a tick.
+
+    [on_gap] receives every sequence number newly detected as missing
+    (by {!note_data} or {!note_session}), in ascending order per call.
+    It is installed once here rather than passed per call so the
+    deliver path never allocates a closure for the rare gap event.
+
+    The per-key deadline ticks and per-member occupancy integrals are
+    Bigarray-backed (off the OCaml heap): the arena's memory is
+    invisible to the GC, and scales with [n * cap] bytes, not heap
+    words.
     @raise Invalid_argument on non-positive [n], [cap], [quantum],
     [idle_timeout] or [lifetime]. *)
 
@@ -48,17 +59,17 @@ val capacity : t -> int
 val received : t -> int -> int -> bool
 (** [received t m seq]. *)
 
-val note_data : t -> int -> int -> on_gap:(int -> unit) -> bool
-(** [note_data t m seq ~on_gap] records receipt of [seq] at member [m].
-    [false] if it was a duplicate; otherwise every sequence number
-    newly detected as missing (strictly below [seq], never reported
-    before) is passed to [on_gap] in ascending order.
+val note_data : t -> int -> int -> bool
+(** [note_data t m seq] records receipt of [seq] at member [m]. [false]
+    if it was a duplicate; otherwise every sequence number newly
+    detected as missing (strictly below [seq], never reported before)
+    is passed to the create-time [on_gap] in ascending order.
     @raise Invalid_argument if [seq] is outside [0, cap). *)
 
-val note_session : t -> int -> max_seq:int -> on_gap:(int -> unit) -> unit
+val note_session : t -> int -> max_seq:int -> unit
 (** Session message advertising the source's highest sequence number:
     newly detected losses (including [max_seq] itself if unreceived)
-    go to [on_gap] in ascending order. *)
+    go to the create-time [on_gap] in ascending order. *)
 
 val note_repaired : t -> int -> int -> bool
 (** Mark a missing sequence number as received; [false] if it already

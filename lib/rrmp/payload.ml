@@ -1,13 +1,51 @@
-type t = { id : Protocol.Msg_id.t; size : int }
+(* The message body lives off-heap: each payload owns a Bigarray slice
+   whose storage is malloc'd outside the OCaml heap, so a buffered
+   message costs the minor heap a fixed handful of words — never words
+   proportional to its byte size. Bodies are written once here (a
+   deterministic id-derived pattern, so round trips through buffers,
+   repairs and handoffs are verifiable) and shared by reference
+   afterwards; the GC frees the storage when the last holder drops the
+   payload. *)
+
+type body = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { id : Protocol.Msg_id.t; body : body }
+
+let pattern_byte id i =
+  Char.chr ((Protocol.Msg_id.hash id + (i * 131)) land 0xff)
 
 let make ?(size = 1024) id =
   if size < 0 then invalid_arg "Payload.make: negative size";
-  { id; size }
+  let body = Bigarray.Array1.create Bigarray.char Bigarray.c_layout size in
+  for i = 0 to size - 1 do
+    Bigarray.Array1.unsafe_set body i (pattern_byte id i)
+  done;
+  { id; body }
 
 let id t = t.id
 
-let size t = t.size
+let size t = Bigarray.Array1.dim t.body
 
-let equal a b = Protocol.Msg_id.equal a.id b.id && Int.equal a.size b.size
+let get t i = Bigarray.Array1.get t.body i
 
-let pp fmt t = Format.fprintf fmt "%a(%dB)" Protocol.Msg_id.pp t.id t.size
+(* bodies are immutable after [make], so id + size determine contents *)
+let equal a b = Protocol.Msg_id.equal a.id b.id && Int.equal (size a) (size b)
+
+(* order-dependent fold so corruption anywhere shifts the sum *)
+let checksum t =
+  let n = size t in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := ((!acc * 31) + Char.code (Bigarray.Array1.unsafe_get t.body i)) land max_int
+  done;
+  !acc
+
+let intact t =
+  let n = size t in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Bigarray.Array1.unsafe_get t.body i <> pattern_byte t.id i then ok := false
+  done;
+  !ok
+
+let pp fmt t = Format.fprintf fmt "%a(%dB)" Protocol.Msg_id.pp t.id (size t)

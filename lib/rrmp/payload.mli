@@ -1,7 +1,16 @@
 (** A multicast data message as buffered and retransmitted: its
-    identifier plus an abstract size used for buffer accounting. *)
+    identifier plus an off-heap body.
 
-type t = { id : Protocol.Msg_id.t; size : int }
+    The body is a {!Bigarray} slice malloc'd outside the OCaml heap, so
+    buffering a message never costs minor-heap words proportional to
+    its byte size — only the fixed payload handle. Ownership rules:
+    the body is written exactly once, by {!make} (a deterministic
+    pattern derived from the id, so end-to-end integrity is checkable
+    with {!intact}); every later holder — buffers, in-flight repairs,
+    handoff batches — shares the same slice by reference, and the GC
+    releases the storage when the last holder lets go. *)
+
+type t
 
 val make : ?size:int -> Protocol.Msg_id.t -> t
 (** Default size 1024 bytes. @raise Invalid_argument on negative
@@ -10,7 +19,20 @@ val make : ?size:int -> Protocol.Msg_id.t -> t
 val id : t -> Protocol.Msg_id.t
 
 val size : t -> int
+(** Body length in bytes. *)
+
+val get : t -> int -> char
+(** Read one body byte. @raise Invalid_argument out of bounds. *)
+
+val checksum : t -> int
+(** Order-dependent checksum of the body bytes. *)
+
+val intact : t -> bool
+(** Whether the body still holds exactly the pattern {!make} wrote —
+    the end-to-end integrity probe used by the handoff/repair tests. *)
 
 val equal : t -> t -> bool
+(** Same id and size (bodies are write-once, so this implies equal
+    contents). *)
 
 val pp : Format.formatter -> t -> unit

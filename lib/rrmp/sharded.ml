@@ -19,12 +19,38 @@ module Msg_id = Protocol.Msg_id
 (* The sharded wire protocol. A single source with bounded in-order
    sequence numbers means a seq *is* the message body: repairs carry
    the seq alone and payload bodies are never materialized, which is
-   what lets 10^6 members run without per-packet allocation. *)
-type msg =
-  | Data of int  (* seq *)
-  | Session of int  (* sender's max seq *)
-  | Remote_request of { seq : int; origin_region : int; origin_member : int }
-  | Remote_repair of int  (* seq *)
+   what lets 10^6 members run without per-packet allocation. Messages
+   are bit-packed into an immediate int —
+
+     bits 0-1   tag (0 Data, 1 Session, 2 Remote_request, 3 Remote_repair)
+     bits 2-21  seq (Data/Remote_*: the sequence number; Session: max seq)
+     bits 22-41 origin region   (Remote_request only)
+     bits 42-61 origin member   (Remote_request only)
+
+   — so a parcel is never a heap object and dispatch is two bit ops. *)
+type msg = int
+
+let field_bits = 20
+
+let field_mask = (1 lsl field_bits) - 1
+
+let msg_data seq = seq lsl 2
+
+let msg_session max_seq = (max_seq lsl 2) lor 1
+
+let msg_remote_request ~seq ~origin_region ~origin_member =
+  (origin_member lsl (2 + (2 * field_bits)))
+  lor (origin_region lsl (2 + field_bits))
+  lor (seq lsl 2)
+  lor 2
+
+let msg_remote_repair seq = (seq lsl 2) lor 3
+
+let[@inline] msg_seq m = (m lsr 2) land field_mask
+
+let[@inline] msg_origin_region m = (m lsr (2 + field_bits)) land field_mask
+
+let[@inline] msg_origin_member m = (m lsr (2 + (2 * field_bits))) land field_mask
 
 (* recovery table keyed by the packed (member, seq) int: identity is a
    perfect hash (functor-made, per the D3 rule) *)
@@ -36,13 +62,39 @@ module Key_tbl = Hashtbl.Make (struct
   let hash k = k land max_int
 end)
 
+(* Recovery records are pooled per region (a free list threaded through
+   [next_free], terminated by the [rec_nil] sentinel) and their retry
+   thunks are allocated once per record: re-arming a retry timer costs
+   only the Sim schedule, never a fresh closure or [Some] box — timers
+   use [Sim.never] as the "not armed" value. [key] packs (member, seq)
+   so the thunks recover their target from the record itself. *)
 type recovery = {
-  detected_at : float;
-  mutable local_timer : Sim.handle option;
-  mutable remote_timer : Sim.handle option;
+  mutable key : int;  (* m * cap + seq while active; negative when free *)
+  mutable detected_at : float;
+  mutable local_timer : Sim.handle;
+  mutable remote_timer : Sim.handle;
   mutable local_tries : int;
   mutable remote_tries : int;
+  mutable next_free : recovery;
+  mutable local_thunk : unit -> unit;
+  mutable remote_thunk : unit -> unit;
 }
+
+let rec_nil =
+  let rec r =
+    {
+      key = -2;
+      detected_at = 0.0;
+      local_timer = Sim.never;
+      remote_timer = Sim.never;
+      local_tries = 0;
+      remote_tries = 0;
+      next_free = r;
+      local_thunk = ignore;
+      remote_thunk = ignore;
+    }
+  in
+  r
 
 (* per-shard execution context: its own Sim, metrics registry and
    observer, so hot-path gating and counter bumps never cross domains *)
@@ -64,9 +116,11 @@ type region = {
   parent : int;  (* parent region, -1 for the sender's *)
   hops : int;  (* hop distance from the sender's region *)
   soa : Member_soa.t;
+  dsts_all : int array;  (* [|0 .. size-1|], shared session-fanout dsts *)
   rngs : Rng.t array;  (* one generator per member, split in order *)
   recoveries : recovery Key_tbl.t;
       (* keyed m*cap+seq; only ever indexed, never iterated *)
+  mutable free_rec : recovery;  (* pool of finished recovery records *)
   mutable recovered : int;
   mutable latency_sum : float;
       (* accumulated in region event order (shard-invariant), folded in
@@ -121,15 +175,21 @@ let finish_recovery t reg m seq =
   match Key_tbl.find_opt reg.recoveries k with
   | None -> ()
   | Some r ->
-    Option.iter Sim.cancel r.local_timer;
-    Option.iter Sim.cancel r.remote_timer;
+    Sim.cancel r.local_timer;
+    Sim.cancel r.remote_timer;
     Key_tbl.remove reg.recoveries k;
     let ctx = t.ctxs.(reg.shard) in
     let latency = Sim.now ctx.sim -. r.detected_at in
     reg.recovered <- reg.recovered + 1;
     reg.latency_sum <- reg.latency_sum +. latency;
     if ctx.observing then
-      emit t reg m (Events.Recovered { id = id_of t seq; latency; local_tries = r.local_tries })
+      emit t reg m (Events.Recovered { id = id_of t seq; latency; local_tries = r.local_tries });
+    (* recycle: the cancelled timers can never fire the thunks again *)
+    r.key <- -1;
+    r.local_timer <- Sim.never;
+    r.remote_timer <- Sim.never;
+    r.next_free <- reg.free_rec;
+    reg.free_rec <- r
 
 (* ------------------------------------------------------------------ *)
 (* Receive / recovery machine                                          *)
@@ -153,24 +213,50 @@ and start_recovery t reg m seq =
   if (not (Key_tbl.mem reg.recoveries k)) && not (Member_soa.received reg.soa m seq) then begin
     let ctx = t.ctxs.(reg.shard) in
     if ctx.observing then emit t reg m (Events.Loss_detected (id_of t seq));
+    let r = alloc_recovery t reg in
+    r.key <- k;
+    r.detected_at <- Sim.now ctx.sim;
+    r.local_tries <- 0;
+    r.remote_tries <- 0;
+    Key_tbl.add reg.recoveries k r;
+    local_round t reg r;
+    remote_round t reg r
+  end
+
+(* pop a pooled record, or make a fresh one whose retry thunks are tied
+   to it for life — rounds re-arm by rescheduling the same closure *)
+and alloc_recovery t reg =
+  let r = reg.free_rec in
+  if r == rec_nil then begin
     let r =
       {
-        detected_at = Sim.now ctx.sim;
-        local_timer = None;
-        remote_timer = None;
+        key = -1;
+        detected_at = 0.0;
+        local_timer = Sim.never;
+        remote_timer = Sim.never;
         local_tries = 0;
         remote_tries = 0;
+        next_free = rec_nil;
+        local_thunk = ignore;
+        remote_thunk = ignore;
       }
     in
-    Key_tbl.add reg.recoveries k r;
-    local_round t reg m seq r;
-    remote_round t reg m seq r
+    r.local_thunk <- (fun () -> local_round t reg r);
+    r.remote_thunk <- (fun () -> remote_round t reg r);
+    r
+  end
+  else begin
+    reg.free_rec <- r.next_free;
+    r.next_free <- rec_nil;
+    r
   end
 
 (* one local round: probe a uniformly random other region member, arm
    the retry timer (armed even when alone, exactly like Member) *)
-and local_round t reg m seq r =
+and local_round t reg r =
   if not (tries_exhausted t r.local_tries) then begin
+    let m = r.key / t.cap in
+    let seq = r.key - (m * t.cap) in
     let ctx = t.ctxs.(reg.shard) in
     if reg.size > 1 then begin
       let j = Rng.int reg.rngs.(m) (reg.size - 1) in
@@ -180,14 +266,15 @@ and local_round t reg m seq r =
         (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
              handle_local_request t reg j seq ~origin:m))
     end;
-    r.local_timer <-
-      Some (Sim.schedule ctx.sim ~delay:t.local_retry (fun () -> local_round t reg m seq r))
+    r.local_timer <- Sim.schedule ctx.sim ~delay:t.local_retry r.local_thunk
   end
 
 (* one remote round: with probability lambda/n ask a random parent-region
    member through the fabric; the timer is armed regardless *)
-and remote_round t reg m seq r =
+and remote_round t reg r =
   if reg.parent >= 0 && not (tries_exhausted t r.remote_tries) then begin
+    let m = r.key / t.cap in
+    let seq = r.key - (m * t.cap) in
     let ctx = t.ctxs.(reg.shard) in
     let p = Float.min 1.0 (t.config.Config.lambda /. float_of_int reg.size) in
     r.remote_tries <- r.remote_tries + 1;
@@ -196,10 +283,9 @@ and remote_round t reg m seq r =
       let pm = Rng.int reg.rngs.(m) parent.size in
       Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:parent.r_id ~dst_member:pm
         ~arrival:(Sim.now ctx.sim +. t.intra +. t.inter)
-        (Remote_request { seq; origin_region = reg.r_id; origin_member = m })
+        (msg_remote_request ~seq ~origin_region:reg.r_id ~origin_member:m)
     end;
-    r.remote_timer <-
-      Some (Sim.schedule ctx.sim ~delay:t.remote_retry (fun () -> remote_round t reg m seq r))
+    r.remote_timer <- Sim.schedule ctx.sim ~delay:t.remote_retry r.remote_thunk
   end
 
 (* a region neighbour asked [m] for [seq]; a bufferer touches the entry
@@ -237,25 +323,25 @@ and handle_repair t reg m seq ~remote =
    every member but the re-sender, in member order *)
 and regional_sweep t reg seq ~src =
   let ctx = t.ctxs.(reg.shard) in
+  (* one boxed read of the clock for the whole sweep, not one per touch *)
+  let now = Sim.now ctx.sim in
   for j = 0 to reg.size - 1 do
     if j <> src then
       if Member_soa.note_repaired reg.soa j seq then accept t reg j seq ~via:`Regional
       else begin
         ctx.mh_touches := !(ctx.mh_touches) + 1;
-        Member_soa.touch reg.soa j seq ~now:(Sim.now ctx.sim)
+        Member_soa.touch reg.soa j seq ~now
       end
   done
 
 and handle_data t reg m seq =
-  let fresh =
-    Member_soa.note_data reg.soa m seq ~on_gap:(fun g -> start_recovery t reg m g)
-  in
-  if fresh then accept t reg m seq ~via:`Multicast
+  (* gap detection reports into the region's create-time [on_gap]
+     callback (-> start_recovery): no closure on the deliver path *)
+  if Member_soa.note_data reg.soa m seq then accept t reg m seq ~via:`Multicast
 
 (* a session advertisement (or learning a seq exists from a request
    about it) can reveal losses we hadn't detected yet *)
-let deliver_session t reg m max_seq =
-  Member_soa.note_session reg.soa m ~max_seq ~on_gap:(fun g -> start_recovery t reg m g)
+let deliver_session _t reg m max_seq = Member_soa.note_session reg.soa m ~max_seq
 
 (* Section 3.3's cases, bounded for the scale path: a bufferer touches
    and replies; a member that never received the seq records the loss
@@ -270,18 +356,19 @@ let handle_remote_request t reg m ~seq ~origin_region ~origin_member =
     Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:origin_region
       ~dst_member:origin_member
       ~arrival:(now +. t.intra +. t.inter)
-      (Remote_repair seq)
+      (msg_remote_repair seq)
   end
   else if not (Member_soa.received reg.soa m seq) then deliver_session t reg m seq
 
 let handle_parcel t region member msg =
   let reg = t.regs.(region) in
-  match msg with
-  | Data seq -> handle_data t reg member seq
-  | Session max_seq -> deliver_session t reg member max_seq
-  | Remote_request { seq; origin_region; origin_member } ->
-    handle_remote_request t reg member ~seq ~origin_region ~origin_member
-  | Remote_repair seq -> handle_repair t reg member seq ~remote:true
+  match msg land 3 with
+  | 0 -> handle_data t reg member (msg_seq msg)
+  | 1 -> deliver_session t reg member (msg_seq msg)
+  | 2 ->
+    handle_remote_request t reg member ~seq:(msg_seq msg)
+      ~origin_region:(msg_origin_region msg) ~origin_member:(msg_origin_member msg)
+  | _ -> handle_repair t reg member (msg_seq msg) ~remote:true
 
 (* ------------------------------------------------------------------ *)
 (* Idle / lifetime deadlines (the two-phase policy over the SoA ring)   *)
@@ -330,10 +417,11 @@ let rec session_tick t interval =
              done));
     for r = 1 to Array.length t.regs - 1 do
       let reg = t.regs.(r) in
-      let dsts = Array.init reg.size (fun i -> i) in
+      (* the shared everyone-array: the fabric only reads dsts, so all
+         session parcels of a region can alias one array *)
       Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
         ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
-        ~dsts (Session max_seq)
+        ~dsts:reg.dsts_all (msg_session max_seq)
     done
   end;
   ignore (Sim.schedule ctx.sim ~delay:interval (fun () -> session_tick t interval))
@@ -358,8 +446,9 @@ let multicast t ~reach =
   let ctx = t.ctxs.(sreg.shard) in
   let now = Sim.now ctx.sim in
   (* the sender's own copy: bookkeeping without a Delivered event,
-     mirroring Member.own_send_bookkeeping *)
-  ignore (Member_soa.note_data sreg.soa 0 seq ~on_gap:(fun _ -> ()));
+     mirroring Member.own_send_bookkeeping (the sender sends in seq
+     order, so its note_data can never detect a gap) *)
+  ignore (Member_soa.note_data sreg.soa 0 seq);
   ctx.mh_delivered := !(ctx.mh_delivered) + 1;
   Member_soa.note_delivery sreg.soa 0;
   if Member_soa.insert_short sreg.soa 0 seq ~now then
@@ -378,15 +467,19 @@ let multicast t ~reach =
       end
     done;
     if !cnt > 0 then begin
-      let dsts = Array.sub t.scratch 0 !cnt in
-      if r = 0 then
+      if r = 0 then begin
+        (* the local coalesced event needs the reach set to survive
+           until it fires, so it gets its own copy; remote regions reuse
+           [scratch] directly — the fabric copies into pooled storage *)
+        let dsts = Array.sub t.scratch 0 !cnt in
         ignore
           (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
                Array.iter (fun m -> handle_data t reg m seq) dsts))
+      end
       else
         Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
           ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
-          ~dsts (Data seq)
+          ~dsts:t.scratch ~n:!cnt (msg_data seq)
     end
   done
 
@@ -425,7 +518,13 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
     let metrics = Metrics.create () in
     let obs = match observer with None -> None | Some f -> f s in
     {
-      sim = Sim.create ();
+      (* pure-heap scheduler: the sharded path keeps its mass deadlines
+         in Member_soa's coalesced rings, so the Sim queue holds only
+         recovery timers and coalesced sweeps — small and cancel-heavy,
+         where the array-backed heap is allocation-free while the timer
+         wheel pays list conses, bucket sorts and compaction filters on
+         every recovery round *)
+      sim = Sim.create ~wheel:false ();
       metrics;
       mh_delivered = Metrics.handle metrics "rrmp.delivered";
       mh_touches = Metrics.handle metrics "rrmp.feedback_touches";
@@ -472,6 +571,9 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
         ~on_lifetime:(fun ~member ~seq ->
           let t = get_t () in
           lifetime_expired t t.regs.(r) ~member ~seq)
+        ~on_gap:(fun ~member ~seq ->
+          let t = get_t () in
+          start_recovery t t.regs.(r) member seq)
         ()
     in
     (* region streams are substreams of the seed indexed by region id —
@@ -490,8 +592,10 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
       parent = parents.(r);
       hops = hops_of.(r);
       soa;
+      dsts_all = Array.init sizes.(r) (fun i -> i);
       rngs;
       recoveries = Key_tbl.create 16;
+      free_rec = rec_nil;
       recovered = 0;
       latency_sum = 0.0;
     }
@@ -590,6 +694,9 @@ let peak_buffered t =
 
 let sim_events t =
   Array.fold_left (fun acc ctx -> acc + Sim.events_executed ctx.sim) 0 t.ctxs
+
+let sim_schedules t =
+  Array.fold_left (fun acc ctx -> acc + Sim.events_scheduled ctx.sim) 0 t.ctxs
 
 let cross_region_parcels t = Fabric.posted t.fabric
 

@@ -116,6 +116,10 @@ val peak_buffered : t -> int
 val sim_events : t -> int
 (** Sum over shards of {!Engine.Sim.events_executed}. *)
 
+val sim_schedules : t -> int
+(** Sum over shards of {!Engine.Sim.events_scheduled}: with
+    {!sim_events} this bounds the event-queue allocation traffic. *)
+
 val cross_region_parcels : t -> int
 (** Parcels that crossed a barrier ({!Netsim.Fabric.posted}). *)
 

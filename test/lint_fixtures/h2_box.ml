@@ -1,0 +1,14 @@
+(* lint fixture: H2 fires on boxing hazards in an exact-zero module *)
+let lookup tbl k = Tbl.find_opt tbl k
+
+let each f xs = List.iter (fun x -> f (x + 1)) xs
+
+let wrap x = Some (x + 1)
+
+let pair x y = (x, y)
+
+type t = Pair of int * int
+
+(* a constructor's argument tuple is the constructor's own block,
+   not a tuple allocation: must NOT be flagged *)
+let ctor x y = Pair (x, y)

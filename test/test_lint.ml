@@ -25,6 +25,7 @@ let fcfg =
     d4_dirs = [ "lint_fixtures" ];
     d4_allow = [];
     h1_files = [ "lint_fixtures/h1_alloc.ml" ];
+    h2_files = [ "lint_fixtures/h2_box.ml" ];
     m1_dirs = [ "lint_fixtures/m1" ];
     m1_exempt = [];
   }
@@ -59,6 +60,21 @@ let test_h1_only_when_hot () =
   let cold = { fcfg with Config.h1_files = [] } in
   let findings, _, _ = Lint.scan_file ~root:fixture_root cold "lint_fixtures/h1_alloc.ml" in
   Alcotest.(check int) "not hot, not flagged" 0 (List.length findings)
+
+let test_h2 () =
+  check_hits "find_opt, closure argument, Some, tuple" "lint_fixtures/h2_box.ml"
+    [ ("H2", 2); ("H2", 4); ("H2", 6); ("H2", 8) ]
+
+let test_h2_ctor_args_exempt () =
+  (* Pair (x, y) on line 14 is the constructor's own block, not a
+     tuple allocation: no finding past line 8 *)
+  Alcotest.(check bool) "no finding on the constructor application" true
+    (List.for_all (fun (_, line) -> line <= 8) (hits "lint_fixtures/h2_box.ml"))
+
+let test_h2_only_when_listed () =
+  let cold = { fcfg with Config.h2_files = [] } in
+  let findings, _, _ = Lint.scan_file ~root:fixture_root cold "lint_fixtures/h2_box.ml" in
+  Alcotest.(check int) "not listed, not flagged" 0 (List.length findings)
 
 let test_s1 () =
   check_hits "unknown rule id and missing justification" "lint_fixtures/s1_bad.ml"
@@ -99,7 +115,11 @@ let test_config_load () =
   Alcotest.(check bool) "fixtures excluded" true
     (List.mem "test/lint_fixtures" cfg.Config.exclude);
   Alcotest.(check bool) "member.ml declared hot" true
-    (List.mem "lib/rrmp/member.ml" cfg.Config.h1_files)
+    (List.mem "lib/rrmp/member.ml" cfg.Config.h1_files);
+  Alcotest.(check bool) "wire.ml declared hot" true
+    (List.mem "lib/rrmp/wire.ml" cfg.Config.h1_files);
+  Alcotest.(check bool) "member_soa.ml behind the exact-zero gate" true
+    (List.mem "lib/rrmp/member_soa.ml" cfg.Config.h2_files)
 
 let test_clean_tree () =
   (* the committed config over the real lib/ tree: zero unsuppressed
@@ -125,6 +145,9 @@ let suites =
         Alcotest.test_case "D4 environment reads" `Quick test_d4;
         Alcotest.test_case "H1 hot-path allocation" `Quick test_h1;
         Alcotest.test_case "H1 scoped to hot modules" `Quick test_h1_only_when_hot;
+        Alcotest.test_case "H2 boxing hazards" `Quick test_h2;
+        Alcotest.test_case "H2 constructor arguments exempt" `Quick test_h2_ctor_args_exempt;
+        Alcotest.test_case "H2 scoped to exact-zero modules" `Quick test_h2_only_when_listed;
         Alcotest.test_case "S1 suppression hygiene" `Quick test_s1;
         Alcotest.test_case "M1 missing interface" `Quick test_m1;
       ] );

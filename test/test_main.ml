@@ -17,6 +17,8 @@ let () =
          Test_parallel.suites;
          Test_shard.suites;
          Test_properties.suites;
+         Test_wire_arena.suites;
+         Test_alloc_gates.suites;
          Test_edge_cases.suites;
          Test_misc.suites;
          Test_lint.suites;

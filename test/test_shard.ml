@@ -161,27 +161,38 @@ let gap_ops_arb =
       (Print.list (fun (m, op) -> Printf.sprintf "m%d:%s" m (gap_op_to_string op)))
     Gen.(list_size (int_bound 120) (pair (int_bound 2) op_gen))
 
-let unobserved_soa ~sim ~n ~cap =
+let unobserved_soa ?(on_gap = fun ~member:_ ~seq:_ -> ()) ~sim ~n ~cap () =
   Soa.create ~sim ~n ~cap ~quantum:10.0 ~idle_timeout:1e6 ~lifetime:None
     ~on_idle:(fun ~member:_ ~seq:_ -> ())
     ~on_lifetime:(fun ~member:_ ~seq:_ -> ())
-    ()
+    ~on_gap ()
 
 let qcheck_gap_lockstep =
   QCheck.Test.make ~name:"member_soa gap ops ≡ Gap_detect (lockstep)" ~count:300
     gap_ops_arb (fun ops ->
       let sim = Sim.create () in
-      let soa = unobserved_soa ~sim ~n:3 ~cap:gap_cap in
-      let refs = Array.init 3 (fun _ -> Gap.create ()) in
+      (* the gap sink is installed once at create; the lockstep loop
+         drains it per op and checks the reported member as well *)
+      let gaps = ref [] in
+      let cur_m = ref (-1) in
       let ok = ref true in
       let check b = if not b then ok := false in
+      let soa =
+        unobserved_soa ~sim ~n:3 ~cap:gap_cap
+          ~on_gap:(fun ~member ~seq ->
+            check (member = !cur_m);
+            gaps := seq :: !gaps)
+          ()
+      in
+      let refs = Array.init 3 (fun _ -> Gap.create ()) in
       List.iter
         (fun (m, op) ->
           let g = refs.(m) in
+          cur_m := m;
           (match op with
            | GData s ->
-             let gaps = ref [] in
-             let fresh = Soa.note_data soa m s ~on_gap:(fun x -> gaps := x :: !gaps) in
+             gaps := [];
+             let fresh = Soa.note_data soa m s in
              (match Gap.note_data g s with
               | `Fresh ref_gaps ->
                 check fresh;
@@ -190,8 +201,8 @@ let qcheck_gap_lockstep =
                 check (not fresh);
                 check (!gaps = []))
            | GSess s ->
-             let gaps = ref [] in
-             Soa.note_session soa m ~max_seq:s ~on_gap:(fun x -> gaps := x :: !gaps);
+             gaps := [];
+             Soa.note_session soa m ~max_seq:s;
              check (List.rev !gaps = Gap.note_session g ~max_seq:s)
            | GRep s ->
              let expect_fresh = not (Gap.received g s) in
@@ -245,7 +256,7 @@ let qcheck_buffer_lockstep =
   QCheck.Test.make ~name:"member_soa buffer ≡ Buffer (lockstep)" ~count:300 buf_ops_arb
     (fun ops ->
       let sim = Sim.create () in
-      let soa = unobserved_soa ~sim ~n:1 ~cap:buf_cap in
+      let soa = unobserved_soa ~sim ~n:1 ~cap:buf_cap () in
       let buf = Rrmp.Buffer.create ~sim in
       let id s = Protocol.Msg_id.make ~source:(Node_id.of_int 0) ~seq:s in
       let payload s = Rrmp.Payload.make (id s) in
@@ -303,7 +314,9 @@ let test_soa_ring_semantics () =
   let record cls ~member ~seq = fired := (Sim.now sim, cls, member, seq) :: !fired in
   let soa =
     Soa.create ~sim ~n:2 ~cap:8 ~quantum:10.0 ~idle_timeout:40.0 ~lifetime:(Some 100.0)
-      ~on_idle:(record `Idle) ~on_lifetime:(record `Life) ()
+      ~on_idle:(record `Idle) ~on_lifetime:(record `Life)
+      ~on_gap:(fun ~member:_ ~seq:_ -> ())
+      ()
   in
   (* exact-boundary deadline fires exactly on its tick *)
   Alcotest.(check bool) "insert m1/s4" true (Soa.insert_short soa 1 4 ~now:0.0);
@@ -334,6 +347,7 @@ let test_soa_create_validation () =
       (Soa.create ~sim ~n ~cap ~quantum ~idle_timeout:idle ~lifetime
          ~on_idle:(fun ~member:_ ~seq:_ -> ())
          ~on_lifetime:(fun ~member:_ ~seq:_ -> ())
+         ~on_gap:(fun ~member:_ ~seq:_ -> ())
          ())
   in
   Alcotest.check_raises "n" (Invalid_argument "Member_soa.create: n must be positive")
