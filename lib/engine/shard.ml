@@ -23,7 +23,7 @@ let default_shards () =
 
 let set_default_shards s = shards_setting := Some (clamp_shards s)
 
-let run ~sims ~quantum ~until ~exchange () =
+let run ~sims ?on_window ?busy ~quantum ~until ~exchange () =
   if quantum <= 0.0 then invalid_arg "Shard.run: quantum must be positive";
   if until < 0.0 then invalid_arg "Shard.run: until must be non-negative";
   let shards = Array.length sims in
@@ -34,24 +34,33 @@ let run ~sims ~quantum ~until ~exchange () =
     let quiescent = ref false in
     while (not !quiescent) && !w <= windows do
       let barrier = Float.min (float_of_int !w *. quantum) until in
+      (* one shard's window: run to the barrier, then let the owner do
+         its barrier-clocked work (ring sweeps) on the same domain —
+         the shard's clock sits exactly at [barrier] during the hook *)
+      let step s =
+        Sim.run ~until:barrier sims.(s);
+        match on_window with None -> () | Some f -> f ~shard:s ~barrier
+      in
       (* independent shards: any worker interleaving yields the same
          per-shard state, and a 1-worker pool degrades to shard order *)
       (match pool with
-       | Some p when Pool.size p > 1 ->
-         Pool.parallel_for p ~n:shards (fun s -> Sim.run ~until:barrier sims.(s))
+       | Some p when Pool.size p > 1 -> Pool.parallel_for p ~n:shards step
        | Some _ | None ->
          for s = 0 to shards - 1 do
-           Sim.run ~until:barrier sims.(s)
+           step s
          done);
       let injected = exchange ~barrier in
       (* nothing in flight and nothing queued: every remaining window
          is empty, so skip straight to the final clock advance *)
       if injected = 0 then begin
-        let busy = ref false in
+        let busy_any = ref false in
         for s = 0 to shards - 1 do
-          if Sim.pending sims.(s) > 0 then busy := true
+          if
+            Sim.pending sims.(s) > 0
+            || (match busy with None -> false | Some f -> f s)
+          then busy_any := true
         done;
-        if not !busy then quiescent := true
+        if not !busy_any then quiescent := true
       end;
       incr w
     done;

@@ -19,6 +19,8 @@
 
 val run :
   sims:Sim.t array ->
+  ?on_window:(shard:int -> barrier:float -> unit) ->
+  ?busy:(int -> bool) ->
   quantum:float ->
   until:float ->
   exchange:(barrier:float -> int) ->
@@ -33,6 +35,16 @@ val run :
     empty windows are skipped. Windows run on {!Pool.global} when more
     than one shard and more than one worker are configured, otherwise
     inline in shard order — the result is identical either way.
+
+    [on_window ~shard ~barrier] runs at the end of every shard's
+    window, on the domain that ran the window and with the shard's
+    clock sitting exactly at [barrier] — the hook barrier-driven
+    deadline rings ({!Rrmp.Member_soa.sweep_until}) sweep from, so a
+    shard-wide ring needs no Sim events of its own. [busy shard] is
+    consulted by the quiescence check (on the coordinating domain,
+    between windows): a shard reporting [true] — e.g. armed ring
+    deadlines ({!Rrmp.Member_soa.deadlines_pending}) — keeps the window
+    loop alive even when every Sim queue is empty.
     @raise Invalid_argument if [quantum <= 0] or [until < 0]. *)
 
 (** {2 Process-wide shard-count setting}

@@ -129,8 +129,15 @@ let run_deadline_touch ~n ~k ~rounds =
 let run_regional_fanout ~regions ~per_region ~batches =
   let sims = Array.init regions (fun _ -> Engine.Sim.create ~wheel:false ()) in
   let delivered = ref 0 in
+  (* one slot pool: the gate measures a shard's own steady state —
+     post pops the same free list fire recycles into. (With one pool
+     per region and a send-only source, recycled slots would pile up
+     at the receivers while the sender allocates fresh ones; in the
+     sharded session that imbalance is amortized across the window
+     traffic, but here it would put pool growth inside the measured
+     drain.) *)
   let fabric =
-    Netsim.Fabric.create ~regions ~quantum:10.0
+    Netsim.Fabric.create ~regions ~shards:1 ~shard_of:(fun _ -> 0) ~quantum:10.0
       ~sim_of:(fun r -> sims.(r))
       ~deliver:(fun ~region:_ ~member:_ () -> incr delivered)
   in

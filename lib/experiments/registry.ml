@@ -173,6 +173,16 @@ let all =
             Ext_scale.run_sharded ~cells:[ (4, 64); (8, 128) ] ~msgs:12 ~burst:4 ()
           else Ext_scale.run_sharded ());
     };
+    {
+      id = "ext_scale_1m";
+      description =
+        "Million-member scale path: one per-shard event spine, 1024 x 1024 members";
+      paper_ref = "extension (Section 6 scalability)";
+      run =
+        (fun ~quick ->
+          if quick then Ext_scale.run_1m ~cells:[ (8, 32) ] ~msgs:8 ~burst:4 ()
+          else Ext_scale.run_1m ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,23 +1,27 @@
-(* Per-region outboxes, drained at barriers.
+(* Per-shard outbox blocks with per-region parcel chains, drained at
+   barriers.
 
    Zero-allocation steady state: a parcel is a pooled mutable slot
    carrying its own pre-allocated fire thunk and a reusable destination
    buffer the fanout targets are copied into (so callers can hand in a
-   scratch array they immediately reuse). Outboxes and the free list
-   are growable slot vectors — appended during the window, drained in
-   index order at exchange time — so once the pools have warmed up,
-   posting and injecting a parcel allocates nothing beyond the Sim
-   event that fires it.
+   scratch array they immediately reuse). A shard owns ONE growable
+   slot block — every parcel its regions post during a window is
+   appended there — and a region is just a (head, tail) pair of ints
+   chaining its parcels through the block via [s_next]: per-region
+   fixed cost is two ints, not a vector, which is what lets 10^6
+   members spread over 10^3+ regions without per-region scaffolding.
+   [exchange] walks the regions in ascending order and each region's
+   chain in emission order, so injection order is exactly the old
+   per-region-outbox order.
 
-   Concurrency: each outbox is written only by the shard that owns its
-   source region; [exchange] runs on the coordinating domain while
-   every shard is parked — the Pool.parallel_for completion barrier
-   orders the writes before the reads. Slots are recycled from inside
-   the destination shard's event loop into the shared free list, which
-   is safe for the same reason: recycling happens during windows, and
-   posting (which pops the free list) also happens during windows, but
-   a slot only reaches the free list after its fire event ran in a
-   window preceding the post that would reuse it. *)
+   Concurrency: a shard's block, free list and its regions' chain heads
+   are written only by the domain running that shard's window;
+   [exchange] runs on the coordinating domain while every shard is
+   parked — the Pool.parallel_for completion barrier orders the writes
+   before the reads. Slots are recycled from inside the destination
+   shard's event loop into the destination shard's OWN free list (and
+   popped by that same shard when posting), so no two domains ever
+   touch a free list concurrently. *)
 
 type 'msg slot = {
   mutable s_region : int;  (* destination region *)
@@ -26,6 +30,7 @@ type 'msg slot = {
   mutable s_msg : 'msg;
   mutable s_dsts : int array;  (* capacity >= s_len, reused across lives *)
   mutable s_len : int;
+  mutable s_next : int;  (* next slot of the same source region; -1 ends *)
   mutable s_fire : unit -> unit;  (* tied to the slot once, at creation *)
 }
 
@@ -48,39 +53,52 @@ let vec_push v s =
 
 type 'msg t = {
   sim_of : int -> Engine.Sim.t;
+  shard_of : int -> int;
   deliver : region:int -> member:int -> 'msg -> unit;
-  outboxes : 'msg vec array;  (* per source region, in emission order *)
-  free : 'msg vec;  (* recycled slots *)
-  mutable total_posted : int;
+  blocks : 'msg vec array;  (* per shard: slots posted this window *)
+  free : 'msg vec array;  (* per shard: recycled slots *)
+  head : int array;  (* per region: first chained slot index, -1 = none *)
+  tail : int array;  (* per region: last chained slot index *)
+  posted_by : int array;  (* per shard: parcels posted so far *)
 }
 
-let create ~regions ~quantum ~sim_of ~deliver =
+let create ~regions ~shards ~shard_of ~quantum ~sim_of ~deliver =
   if regions < 0 then invalid_arg "Fabric.create: regions must be non-negative";
+  if shards < 1 then invalid_arg "Fabric.create: shards must be positive";
   if quantum <= 0.0 then invalid_arg "Fabric.create: quantum must be positive";
   {
     sim_of;
+    shard_of;
     deliver;
-    outboxes =
-      ((Array.init regions (fun _ -> { arr = [||]; len = 0 }))
+    blocks =
+      ((Array.init shards (fun _ -> { arr = [||]; len = 0 }))
       [@lint.allow "H2 creation-time initialization, runs once per fabric"]);
-    free = { arr = [||]; len = 0 };
-    total_posted = 0;
+    free =
+      ((Array.init shards (fun _ -> { arr = [||]; len = 0 }))
+      [@lint.allow "H2 creation-time initialization, runs once per fabric"]);
+    head = Array.make regions (-1);
+    tail = Array.make regions (-1);
+    posted_by = Array.make shards 0;
   }
 
-(* deliver a fired slot's payload and recycle the slot; installed as
-   [s_fire] when the slot is first created *)
+(* deliver a fired slot's payload and recycle the slot into the firing
+   (= destination) shard's free list; installed as [s_fire] when the
+   slot is first created *)
 let fire t s =
   if s.s_member >= 0 then t.deliver ~region:s.s_region ~member:s.s_member s.s_msg
   else
     for i = 0 to s.s_len - 1 do
       t.deliver ~region:s.s_region ~member:(Array.unsafe_get s.s_dsts i) s.s_msg
     done;
-  vec_push t.free s
+  vec_push t.free.(t.shard_of s.s_region) s
 
-let alloc_slot t msg =
-  if t.free.len > 0 then begin
-    t.free.len <- t.free.len - 1;
-    let s = Array.unsafe_get t.free.arr t.free.len in
+(* pop the posting shard's free list, or make a fresh slot whose fire
+   thunk is tied to it for life *)
+let alloc_slot t shard msg =
+  let free = t.free.(shard) in
+  if free.len > 0 then begin
+    free.len <- free.len - 1;
+    let s = Array.unsafe_get free.arr free.len in
     s.s_msg <- msg;
     s
   end
@@ -93,6 +111,7 @@ let alloc_slot t msg =
         s_msg = msg;
         s_dsts = [||];
         s_len = 0;
+        s_next = -1;
         s_fire = ignore;
       }
     in
@@ -100,46 +119,65 @@ let alloc_slot t msg =
     s
   end
 
-let post t ~src_region s =
-  vec_push t.outboxes.(src_region) s;
-  t.total_posted <- t.total_posted + 1
+(* append to the source shard's block and chain onto the source
+   region's (head, tail) list — both owned by the posting domain *)
+let post t ~shard ~src_region s =
+  let block = t.blocks.(shard) in
+  let idx = block.len in
+  s.s_next <- -1;
+  vec_push block s;
+  (if t.tail.(src_region) >= 0 then
+     (Array.unsafe_get block.arr t.tail.(src_region)).s_next <- idx
+   else t.head.(src_region) <- idx);
+  t.tail.(src_region) <- idx;
+  t.posted_by.(shard) <- t.posted_by.(shard) + 1
 
 let unicast t ~src_region ~dst_region ~dst_member ~arrival msg =
-  let s = alloc_slot t msg in
+  let shard = t.shard_of src_region in
+  let s = alloc_slot t shard msg in
   s.s_region <- dst_region;
   s.s_member <- dst_member;
   s.s_arrival <- arrival;
   s.s_len <- 0;
-  post t ~src_region s
+  post t ~shard ~src_region s
 
 let fanout t ~src_region ~dst_region ~arrival ~dsts ?n msg =
   let n = match n with None -> Array.length dsts | Some n -> n in
   if n < 0 || n > Array.length dsts then invalid_arg "Fabric.fanout: bad destination count";
-  let s = alloc_slot t msg in
+  let shard = t.shard_of src_region in
+  let s = alloc_slot t shard msg in
   s.s_region <- dst_region;
   s.s_member <- -1;
   s.s_arrival <- arrival;
   if Array.length s.s_dsts < n then s.s_dsts <- Array.make n 0;
   Array.blit dsts 0 s.s_dsts 0 n;
   s.s_len <- n;
-  post t ~src_region s
+  post t ~shard ~src_region s
 
 let exchange t ~barrier =
   let injected = ref 0 in
-  for src = 0 to Array.length t.outboxes - 1 do
-    let ob = t.outboxes.(src) in
-    for i = 0 to ob.len - 1 do
-      let s = Array.unsafe_get ob.arr i in
-      if s.s_arrival +. 1e-9 < barrier then
-        invalid_arg
-          "Fabric.exchange: parcel arrives before the barrier (cross-region delay < quantum)";
-      incr injected;
-      ignore (Engine.Sim.schedule_at (t.sim_of s.s_region) ~at:s.s_arrival s.s_fire)
-    done;
-    (* stale slot pointers stay behind in [arr]; the slots are pooled
-       and reused, so pinning them is free *)
-    ob.len <- 0
+  for src = 0 to Array.length t.head - 1 do
+    let idx = ref t.head.(src) in
+    if !idx >= 0 then begin
+      let block = t.blocks.(t.shard_of src) in
+      while !idx >= 0 do
+        let s = Array.unsafe_get block.arr !idx in
+        if s.s_arrival +. 1e-9 < barrier then
+          invalid_arg
+            "Fabric.exchange: parcel arrives before the barrier (cross-region delay < quantum)";
+        incr injected;
+        ignore (Engine.Sim.schedule_at (t.sim_of s.s_region) ~at:s.s_arrival s.s_fire);
+        idx := s.s_next
+      done;
+      t.head.(src) <- -1;
+      t.tail.(src) <- -1
+    end
+  done;
+  (* stale slot pointers stay behind in the blocks; the slots are
+     pooled and reused, so pinning them is free *)
+  for shard = 0 to Array.length t.blocks - 1 do
+    t.blocks.(shard).len <- 0
   done;
   !injected
 
-let posted t = t.total_posted
+let posted t = Array.fold_left ( + ) 0 t.posted_by

@@ -1,39 +1,51 @@
 (** Cross-region parcel routing for the sharded simulation.
 
     When the simulation is sharded ({!Engine.Shard}), every region owns
-    an outbox; a message whose destination lies in another region is
-    {e posted} to the source region's outbox during the window and only
-    {e injected} into the destination region's shard at the next
-    barrier, via {!exchange}. The quantization is applied to {b every}
+    an outbox chain through its shard's slot block; a message whose
+    destination lies in another region is {e posted} to the source
+    region's chain during the window and only {e injected} into the
+    destination region's shard at the next barrier, via {!exchange}. The quantization is applied to {b every}
     cross-region packet — even when both regions happen to share a
     shard — which is what makes the observable result independent of
     the shard count.
 
-    Determinism: outboxes are drained in ascending source-region order
-    and each outbox preserves emission order (plain arrays end to end —
-    no unordered-container iteration), so for any destination region
-    the injection order of its incoming parcels is a pure function of
-    the workload, never of the region-to-shard assignment.
+    Determinism: region chains are drained in ascending source-region
+    order and each chain preserves emission order (plain arrays and int
+    links end to end — no unordered-container iteration), so for any
+    destination region the injection order of its incoming parcels is a
+    pure function of the workload, never of the region-to-shard
+    assignment.
 
-    Allocation: parcels are pooled mutable slots with pre-allocated
-    fire thunks and reusable destination buffers; outboxes are growable
-    slot vectors. Steady-state posting and injection allocate nothing
-    beyond the {!Engine.Sim} event that fires each parcel. *)
+    Allocation and layout: parcels are pooled mutable slots with
+    pre-allocated fire thunks and reusable destination buffers. A shard
+    owns one growable slot block shared by all of its regions; a
+    region's outbox is a (head, tail) pair of ints chaining its slots
+    through the block — two words of fixed cost per region, so region
+    count can grow into the thousands without per-region vectors. Free
+    lists are per shard and only ever touched by the owning shard's
+    domain (a slot is recycled by the destination shard when it fires
+    and reused by that same shard's next post). Steady-state posting
+    and injection allocate nothing beyond the {!Engine.Sim} event that
+    fires each parcel. *)
 
 type 'msg t
 
 val create :
   regions:int ->
+  shards:int ->
+  shard_of:(int -> int) ->
   quantum:float ->
   sim_of:(int -> Engine.Sim.t) ->
   deliver:(region:int -> member:int -> 'msg -> unit) ->
   'msg t
-(** [create ~regions ~quantum ~sim_of ~deliver] routes parcels between
-    [regions] regions; [sim_of r] is the event loop of the shard owning
-    region [r], and [deliver] is invoked inside that loop when a parcel
-    fires. [quantum] is used only for the conservative-barrier check in
-    {!exchange}.
-    @raise Invalid_argument if [regions < 0] or [quantum <= 0]. *)
+(** [create ~regions ~shards ~shard_of ~quantum ~sim_of ~deliver]
+    routes parcels between [regions] regions spread over [shards]
+    shards; [shard_of r] is the shard owning region [r] (must be stable
+    and in [0, shards)), [sim_of r] is that shard's event loop, and
+    [deliver] is invoked inside it when a parcel fires. [quantum] is
+    used only for the conservative-barrier check in {!exchange}.
+    @raise Invalid_argument if [regions < 0], [shards < 1] or
+    [quantum <= 0]. *)
 
 val unicast :
   'msg t -> src_region:int -> dst_region:int -> dst_member:int -> arrival:float -> 'msg -> unit

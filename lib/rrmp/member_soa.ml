@@ -59,6 +59,9 @@ type t = {
   quantum : float;
   idle_timeout : float;
   lifetime : float;  (* 0.0 = no lifetime configured *)
+  barrier_driven : bool;  (* sweeps come from sweep_until, not Sim events *)
+  mutable armed_buckets : int;  (* non-empty ticks; quiescence probe *)
+  mutable swept : int;  (* highest tick swept (barrier-driven mode) *)
   sim : Engine.Sim.t;
   on_idle : member:int -> seq:int -> unit;
   on_lifetime : member:int -> seq:int -> unit;
@@ -83,9 +86,16 @@ type t = {
   buckets : bucket Tick_tbl.t;  (* tick -> armed keys (packed with class) *)
 }
 
-let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime ~on_gap () =
-  if n <= 0 then invalid_arg "Member_soa.create: n must be positive";
+let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ?(barrier_driven = false) ~on_idle
+    ~on_lifetime ~on_gap () =
+  if n < 0 then invalid_arg "Member_soa.create: n must be non-negative";
   if cap <= 0 then invalid_arg "Member_soa.create: cap must be positive";
+  (* the packed key [m * cap + seq] must survive the ring's extra
+     class bit ([k lsl 1]): at 10^6 members x cap this is the guard
+     that makes an oversized configuration fail loudly instead of
+     silently aliasing two (member, seq) pairs onto one key *)
+  if n > 0 && cap > max_int / 2 / n then
+    invalid_arg "Member_soa.create: n * cap exceeds the packed (member, seq) key range";
   if quantum <= 0.0 then invalid_arg "Member_soa.create: quantum must be positive";
   if idle_timeout <= 0.0 then invalid_arg "Member_soa.create: idle_timeout must be positive";
   let lifetime =
@@ -102,6 +112,12 @@ let create ~sim ~n ~cap ~quantum ~idle_timeout ~lifetime ~on_idle ~on_lifetime ~
     quantum;
     idle_timeout;
     lifetime;
+    barrier_driven;
+    armed_buckets = 0;
+    (* ticks at or before "now" are treated as already swept, so the
+       first sweep_until never fires a deadline armed after create in
+       a bucket that predates it *)
+    swept = int_of_float (Float.floor ((Engine.Sim.now sim /. quantum) +. 1e-9));
     sim;
     on_idle;
     on_lifetime;
@@ -220,7 +236,10 @@ let bucket_push b packed =
   b.len <- b.len + 1
 
 (* [find]-with-exception, not [find_opt]: arming into an existing
-   bucket is the steady state and must not pay a [Some] box *)
+   bucket is the steady state and must not pay a [Some] box. In
+   barrier-driven mode a new bucket costs nothing beyond the table
+   entry — the owning shard sweeps it from the window loop — so an
+   arena shared by many regions schedules no Sim events at all. *)
 let[@lint.allow
      "H2 the sweep thunk is built once per NEW tick bucket and amortized over every key \
       armed into it; the steady state takes the find arm above"] rec enqueue t tick packed =
@@ -230,10 +249,12 @@ let[@lint.allow
     let b = { keys = Array.make 8 0; len = 0 } in
     bucket_push b packed;
     Tick_tbl.add t.buckets tick b;
-    ignore
-      (Engine.Sim.schedule_at t.sim
-         ~at:(float_of_int tick *. t.quantum)
-         (fun () -> sweep t tick))
+    t.armed_buckets <- t.armed_buckets + 1;
+    if not t.barrier_driven then
+      ignore
+        (Engine.Sim.schedule_at t.sim
+           ~at:(float_of_int tick *. t.quantum)
+           (fun () -> sweep t tick))
 
 (* fire everything still due at [tick], in arming order; keys whose
    deadline was pushed out by a touch re-bucket here (lazily), exactly
@@ -243,6 +264,7 @@ and sweep t tick =
   | exception Not_found -> ()
   | b ->
     Tick_tbl.remove t.buckets tick;
+    t.armed_buckets <- t.armed_buckets - 1;
     for i = 0 to b.len - 1 do
       let packed = b.keys.(i) in
       let k = packed lsr 1 in
@@ -258,6 +280,21 @@ and sweep t tick =
         end
         else enqueue t cur packed
     done
+
+(* barrier-driven sweeping: the shard coordinator calls this after each
+   window with tick = floor(barrier / quantum). Ticks are swept in
+   ascending order exactly as the Sim-scheduled sweeps would run, and a
+   deadline armed mid-sweep always lands at a strictly later tick
+   (timeouts are positive), so the loop never chases its own tail. *)
+let sweep_until t ~tick =
+  if not t.barrier_driven then
+    invalid_arg "Member_soa.sweep_until: arena sweeps are Sim-driven";
+  while t.swept < tick do
+    t.swept <- t.swept + 1;
+    sweep t t.swept
+  done
+
+let deadlines_pending t = t.armed_buckets > 0
 
 let arm t cls k ~timeout ~now =
   (* open-coded tick_of, same reason as [touch]: without flambda the

@@ -26,17 +26,27 @@ val create :
   quantum:float ->
   idle_timeout:float ->
   lifetime:float option ->
+  ?barrier_driven:bool ->
   on_idle:(member:int -> seq:int -> unit) ->
   on_lifetime:(member:int -> seq:int -> unit) ->
   on_gap:(member:int -> seq:int -> unit) ->
   unit ->
   t
-(** Arena for [n] members and sequence numbers [0, cap) of one source.
-    Idle deadlines fire [idle_timeout] ms after the last {!touch} (into
-    [on_idle]); long-term entries expire [lifetime] ms after their last
-    touch (into [on_lifetime]). Deadlines are coalesced on a
-    [quantum]-ms ring exactly like {!Engine.Dring}: they fire up to one
-    quantum late, never early, in arming order within a tick.
+(** Arena for [n] members and sequence numbers [0, cap) of one source
+    ([n = 0] builds a valid empty arena — a shard that was assigned no
+    regions). Idle deadlines fire [idle_timeout] ms after the last
+    {!touch} (into [on_idle]); long-term entries expire [lifetime] ms
+    after their last touch (into [on_lifetime]). Deadlines are
+    coalesced on a [quantum]-ms ring exactly like {!Engine.Dring}: they
+    fire up to one quantum late, never early, in arming order within a
+    tick.
+
+    By default each newly non-empty tick schedules its own sweep event
+    on [sim]. With [~barrier_driven:true] the arena {e never} schedules
+    Sim events: the owner must call {!sweep_until} after each window
+    (the {!Engine.Shard.run} [on_window] hook) and report
+    {!deadlines_pending} from the [busy] hook — this is what lets one
+    arena serve a whole shard without per-region sweep traffic.
 
     [on_gap] receives every sequence number newly detected as missing
     (by {!note_data} or {!note_session}), in ascending order per call.
@@ -47,8 +57,12 @@ val create :
     Bigarray-backed (off the OCaml heap): the arena's memory is
     invisible to the GC, and scales with [n * cap] bytes, not heap
     words.
-    @raise Invalid_argument on non-positive [n], [cap], [quantum],
-    [idle_timeout] or [lifetime]. *)
+    @raise Invalid_argument on negative [n], non-positive [cap],
+    [quantum], [idle_timeout] or [lifetime], or when [n * cap] would
+    overflow the packed [(member, seq)] key range (the key carries a
+    ring-class bit, so [2 * n * cap] must fit in an OCaml int — checked
+    here so 10^6-member configurations fail loudly instead of silently
+    aliasing keys). *)
 
 val members : t -> int
 
@@ -120,6 +134,22 @@ val occupancy_msg_ms : t -> int -> float
 val settle : t -> int -> now:float -> unit
 
 val settle_all : t -> now:float -> unit
+
+(** {2 Barrier-driven sweeping} (arenas created with [barrier_driven]) *)
+
+val sweep_until : t -> tick:int -> unit
+(** Sweep every unswept ring tick up to and including [tick] (=
+    [floor (barrier / quantum)]), firing due deadlines in arming order
+    and lazily re-bucketing touched ones — the barrier-driven
+    equivalent of the Sim-scheduled sweeps, called from
+    {!Engine.Shard.run}'s [on_window] hook while the shard's clock sits
+    exactly at the barrier. Idempotent per tick.
+    @raise Invalid_argument on an arena not created [barrier_driven]. *)
+
+val deadlines_pending : t -> bool
+(** Whether any ring tick still holds armed keys — barrier-driven
+    arenas report this through {!Engine.Shard.run}'s [busy] hook so
+    quiescence detection keeps windows alive until the rings drain. *)
 
 (** {2 Delivery and promotion accounting} *)
 

@@ -1,14 +1,31 @@
 (* Region-sharded protocol driver (see the .mli for the architecture).
 
+   Per-shard event spine: a shard owns ONE Sim, ONE struct-of-arrays
+   member arena (with its built-in barrier-driven deadline ring), ONE
+   metrics registry / observer pair, ONE recovery table and record
+   pool, and one fabric outbox block — shared by every region assigned
+   to it. A region is not an object: it is an integer index into flat
+   session-level arrays (size, base, parent, hops, recovery counters),
+   and its members are a contiguous slice of the shard arena. Intra-
+   shard dispatch is therefore one array index — the arena handle
+   [g = global_member_id - shard_base] — instead of a per-region
+   closure environment, which is what takes per-region fixed overhead
+   from hundreds of words (own Sim-scheduled ring sweeps, own tables)
+   to a handful and puts 10^6 members in reach.
+
    Concurrency story: every region lives on exactly one shard, and a
-   shard's regions are touched only by the domain running that shard's
-   Sim window (Engine.Shard hands each shard to one worker at a time).
-   Cross-region messages never call into another region's state
-   directly — they are posted to the fabric from the sending shard's
-   domain and injected by the coordinator between windows — so no lock
-   is needed anywhere. Determinism: all randomness comes from
-   per-region substreams, all cross-region traffic is quantized through
-   the barrier, and float statistics accumulate per region. *)
+   shard's spine is touched only by the domain running that shard's
+   window (Engine.Shard hands each shard to one worker at a time).
+   The session-level per-region arrays are written at distinct indices
+   by the owning shard's domain only, and read by the coordinator
+   after the Pool completion barrier. Cross-region messages never call
+   into another shard's spine directly — they are posted to the fabric
+   from the sending shard's domain and injected by the coordinator
+   between windows — so no lock is needed anywhere. Determinism: all
+   randomness comes from per-region substreams split per member, all
+   cross-region traffic is quantized through the barrier, ring sweeps
+   run at the same barrier clocks for every shard count, and float
+   statistics accumulate per region and fold in region order. *)
 
 module Sim = Engine.Sim
 module Rng = Engine.Rng
@@ -52,8 +69,8 @@ let[@inline] msg_origin_region m = (m lsr (2 + field_bits)) land field_mask
 
 let[@inline] msg_origin_member m = (m lsr (2 + (2 * field_bits))) land field_mask
 
-(* recovery table keyed by the packed (member, seq) int: identity is a
-   perfect hash (functor-made, per the D3 rule) *)
+(* recovery table keyed by the packed (arena handle, seq) int: identity
+   is a perfect hash (functor-made, per the D3 rule) *)
 module Key_tbl = Hashtbl.Make (struct
   type t = int
 
@@ -62,14 +79,14 @@ module Key_tbl = Hashtbl.Make (struct
   let hash k = k land max_int
 end)
 
-(* Recovery records are pooled per region (a free list threaded through
+(* Recovery records are pooled per shard (a free list threaded through
    [next_free], terminated by the [rec_nil] sentinel) and their retry
    thunks are allocated once per record: re-arming a retry timer costs
    only the Sim schedule, never a fresh closure or [Some] box — timers
-   use [Sim.never] as the "not armed" value. [key] packs (member, seq)
+   use [Sim.never] as the "not armed" value. [key] packs (handle, seq)
    so the thunks recover their target from the record itself. *)
 type recovery = {
-  mutable key : int;  (* m * cap + seq while active; negative when free *)
+  mutable key : int;  (* g * cap + seq while active; negative when free *)
   mutable detected_at : float;
   mutable local_timer : Sim.handle;
   mutable remote_timer : Sim.handle;
@@ -96,9 +113,11 @@ let rec_nil =
   in
   r
 
-(* per-shard execution context: its own Sim, metrics registry and
-   observer, so hot-path gating and counter bumps never cross domains *)
-type shard_ctx = {
+(* the per-shard event spine: everything a shard owns, shared by all
+   of its regions. [m_base] anchors the arena: arena handle g <->
+   global member id [m_base + g], and node ids are global member ids,
+   so a handle alone recovers node, region and region-local index. *)
+type spine = {
   sim : Sim.t;
   metrics : Metrics.t;
   mh_delivered : Metrics.handle;
@@ -106,25 +125,13 @@ type shard_ctx = {
   mh_discarded : Metrics.handle;
   observer : Events.observer option;
   observing : bool;
-}
-
-type region = {
-  r_id : int;
-  shard : int;
-  size : int;
-  base : int;  (* global id of member 0: node ids for events *)
-  parent : int;  (* parent region, -1 for the sender's *)
-  hops : int;  (* hop distance from the sender's region *)
-  soa : Member_soa.t;
-  dsts_all : int array;  (* [|0 .. size-1|], shared session-fanout dsts *)
-  rngs : Rng.t array;  (* one generator per member, split in order *)
+  m_base : int;  (* global member id of arena handle 0 *)
+  m_count : int;  (* members in this shard's arena *)
+  soa : Member_soa.t;  (* ONE arena for every region of the shard *)
+  rngs : Rng.t array;  (* one generator per member, indexed by handle *)
   recoveries : recovery Key_tbl.t;
-      (* keyed m*cap+seq; only ever indexed, never iterated *)
+      (* keyed g*cap+seq; only ever indexed, never iterated *)
   mutable free_rec : recovery;  (* pool of finished recovery records *)
-  mutable recovered : int;
-  mutable latency_sum : float;
-      (* accumulated in region event order (shard-invariant), folded in
-         region order: float determinism across shard counts *)
 }
 
 type t = {
@@ -136,97 +143,110 @@ type t = {
   remote_retry : float;
   cap : int;
   total : int;
-  regs : region array;
-  ctxs : shard_ctx array;
+  nregions : int;
+  (* region state, struct-of-arrays: a region is an index, not an
+     object. All fixed per-region cost lives in these flat rows. *)
+  r_shard : int array;
+  r_size : int array;
+  r_base : int array;  (* global id of region member 0 *)
+  r_parent : int array;  (* parent region, -1 for the sender's *)
+  r_hops : int array;  (* hop distance from the sender's region *)
+  r_recovered : int array;
+  r_latency_sum : float array;
+      (* accumulated in region event order (shard-invariant), folded in
+         region order: float determinism across shard counts *)
+  member_region : int array;  (* global member id -> region *)
+  spines : spine array;
   fabric : msg Fabric.t;
   scratch : int array;  (* multicast reach scan, sized max region *)
+  iota : int array;  (* [|0; 1; ...|]: the shared everyone-fanout dsts *)
   sender_node : Node_id.t;
   mutable next_seq : int;
   mutable session_on : bool;
 }
 
-let regions t = Array.length t.regs
+let regions t = t.nregions
 
-let shards t = Array.length t.ctxs
+let shards t = Array.length t.spines
 
 let size t = t.total
 
-let sender_sim t = t.ctxs.(t.regs.(0).shard).sim
-
-let[@inline] rkey t m seq = (m * t.cap) + seq
+let sender_sim t = t.spines.(t.r_shard.(0)).sim
 
 let[@inline] id_of t seq = Msg_id.make ~source:t.sender_node ~seq
 
-let[@inline] node_of reg m = Node_id.of_int (reg.base + m)
+(* arena handle of region [r]'s member [m] on the region's spine *)
+let[@inline] handle_of t sp r m = t.r_base.(r) + m - sp.m_base
 
-let emit t reg m event =
-  let ctx = t.ctxs.(reg.shard) in
-  match ctx.observer with
+let[@inline] region_of t sp g = t.member_region.(sp.m_base + g)
+
+let emit sp g event =
+  match sp.observer with
   | None -> ()
-  | Some f -> f ~time:(Sim.now ctx.sim) ~self:(node_of reg m) event
+  | Some f -> f ~time:(Sim.now sp.sim) ~self:(Node_id.of_int (sp.m_base + g)) event
 
 let tries_exhausted t tries =
   match t.config.Config.max_recovery_tries with
   | None -> false
   | Some m -> tries >= m
 
-let finish_recovery t reg m seq =
-  let k = rkey t m seq in
-  match Key_tbl.find_opt reg.recoveries k with
-  | None -> ()
-  | Some r ->
+(* [find]-with-exception: every delivery probes the recovery table and
+   the overwhelmingly common miss must not pay a [Some] box *)
+let finish_recovery t sp g seq =
+  let k = (g * t.cap) + seq in
+  match Key_tbl.find sp.recoveries k with
+  | exception Not_found -> ()
+  | r ->
     Sim.cancel r.local_timer;
     Sim.cancel r.remote_timer;
-    Key_tbl.remove reg.recoveries k;
-    let ctx = t.ctxs.(reg.shard) in
-    let latency = Sim.now ctx.sim -. r.detected_at in
-    reg.recovered <- reg.recovered + 1;
-    reg.latency_sum <- reg.latency_sum +. latency;
-    if ctx.observing then
-      emit t reg m (Events.Recovered { id = id_of t seq; latency; local_tries = r.local_tries });
+    Key_tbl.remove sp.recoveries k;
+    let latency = Sim.now sp.sim -. r.detected_at in
+    let region = region_of t sp g in
+    t.r_recovered.(region) <- t.r_recovered.(region) + 1;
+    t.r_latency_sum.(region) <- t.r_latency_sum.(region) +. latency;
+    if sp.observing then
+      emit sp g (Events.Recovered { id = id_of t seq; latency; local_tries = r.local_tries });
     (* recycle: the cancelled timers can never fire the thunks again *)
     r.key <- -1;
     r.local_timer <- Sim.never;
     r.remote_timer <- Sim.never;
-    r.next_free <- reg.free_rec;
-    reg.free_rec <- r
+    r.next_free <- sp.free_rec;
+    sp.free_rec <- r
 
 (* ------------------------------------------------------------------ *)
 (* Receive / recovery machine                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* first delivery of [seq]'s body to member [m] (receipt bit already
-   set by the caller via note_data / note_repaired) *)
-let rec accept t reg m seq ~via =
-  let ctx = t.ctxs.(reg.shard) in
-  let now = Sim.now ctx.sim in
-  finish_recovery t reg m seq;
-  ctx.mh_delivered := !(ctx.mh_delivered) + 1;
-  Member_soa.note_delivery reg.soa m;
-  if ctx.observing then emit t reg m (Events.Delivered { id = id_of t seq; via });
-  if Member_soa.insert_short reg.soa m seq ~now then
-    if ctx.observing then
-      emit t reg m (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term })
+(* first delivery of [seq]'s body to arena handle [g] (receipt bit
+   already set by the caller via note_data / note_repaired) *)
+let rec accept t sp g seq ~via =
+  let now = Sim.now sp.sim in
+  finish_recovery t sp g seq;
+  sp.mh_delivered := !(sp.mh_delivered) + 1;
+  Member_soa.note_delivery sp.soa g;
+  if sp.observing then emit sp g (Events.Delivered { id = id_of t seq; via });
+  if Member_soa.insert_short sp.soa g seq ~now then
+    if sp.observing then
+      emit sp g (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term })
 
-and start_recovery t reg m seq =
-  let k = rkey t m seq in
-  if (not (Key_tbl.mem reg.recoveries k)) && not (Member_soa.received reg.soa m seq) then begin
-    let ctx = t.ctxs.(reg.shard) in
-    if ctx.observing then emit t reg m (Events.Loss_detected (id_of t seq));
-    let r = alloc_recovery t reg in
+and start_recovery t sp g seq =
+  let k = (g * t.cap) + seq in
+  if (not (Key_tbl.mem sp.recoveries k)) && not (Member_soa.received sp.soa g seq) then begin
+    if sp.observing then emit sp g (Events.Loss_detected (id_of t seq));
+    let r = alloc_recovery t sp in
     r.key <- k;
-    r.detected_at <- Sim.now ctx.sim;
+    r.detected_at <- Sim.now sp.sim;
     r.local_tries <- 0;
     r.remote_tries <- 0;
-    Key_tbl.add reg.recoveries k r;
-    local_round t reg r;
-    remote_round t reg r
+    Key_tbl.add sp.recoveries k r;
+    local_round t sp r;
+    remote_round t sp r
   end
 
 (* pop a pooled record, or make a fresh one whose retry thunks are tied
    to it for life — rounds re-arm by rescheduling the same closure *)
-and alloc_recovery t reg =
-  let r = reg.free_rec in
+and alloc_recovery t sp =
+  let r = sp.free_rec in
   if r == rec_nil then begin
     let r =
       {
@@ -241,160 +261,162 @@ and alloc_recovery t reg =
         remote_thunk = ignore;
       }
     in
-    r.local_thunk <- (fun () -> local_round t reg r);
-    r.remote_thunk <- (fun () -> remote_round t reg r);
+    r.local_thunk <- (fun () -> local_round t sp r);
+    r.remote_thunk <- (fun () -> remote_round t sp r);
     r
   end
   else begin
-    reg.free_rec <- r.next_free;
+    sp.free_rec <- r.next_free;
     r.next_free <- rec_nil;
     r
   end
 
 (* one local round: probe a uniformly random other region member, arm
    the retry timer (armed even when alone, exactly like Member) *)
-and local_round t reg r =
+and local_round t sp r =
   if not (tries_exhausted t r.local_tries) then begin
-    let m = r.key / t.cap in
-    let seq = r.key - (m * t.cap) in
-    let ctx = t.ctxs.(reg.shard) in
-    if reg.size > 1 then begin
-      let j = Rng.int reg.rngs.(m) (reg.size - 1) in
+    let g = r.key / t.cap in
+    let seq = r.key - (g * t.cap) in
+    let region = region_of t sp g in
+    let rsize = t.r_size.(region) in
+    if rsize > 1 then begin
+      let m = sp.m_base + g - t.r_base.(region) in
+      let j = Rng.int sp.rngs.(g) (rsize - 1) in
       let j = if j >= m then j + 1 else j in
       r.local_tries <- r.local_tries + 1;
       ignore
-        (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
-             handle_local_request t reg j seq ~origin:m))
+        (Sim.schedule sp.sim ~delay:t.intra (fun () ->
+             handle_local_request t sp (g - m + j) seq ~origin:g))
     end;
-    r.local_timer <- Sim.schedule ctx.sim ~delay:t.local_retry r.local_thunk
+    r.local_timer <- Sim.schedule sp.sim ~delay:t.local_retry r.local_thunk
   end
 
 (* one remote round: with probability lambda/n ask a random parent-region
    member through the fabric; the timer is armed regardless *)
-and remote_round t reg r =
-  if reg.parent >= 0 && not (tries_exhausted t r.remote_tries) then begin
-    let m = r.key / t.cap in
-    let seq = r.key - (m * t.cap) in
-    let ctx = t.ctxs.(reg.shard) in
-    let p = Float.min 1.0 (t.config.Config.lambda /. float_of_int reg.size) in
+and remote_round t sp r =
+  let g = r.key / t.cap in
+  let region = region_of t sp g in
+  let parent = t.r_parent.(region) in
+  if parent >= 0 && not (tries_exhausted t r.remote_tries) then begin
+    let seq = r.key - (g * t.cap) in
+    let p = Float.min 1.0 (t.config.Config.lambda /. float_of_int t.r_size.(region)) in
     r.remote_tries <- r.remote_tries + 1;
-    if Rng.bernoulli reg.rngs.(m) ~p then begin
-      let parent = t.regs.(reg.parent) in
-      let pm = Rng.int reg.rngs.(m) parent.size in
-      Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:parent.r_id ~dst_member:pm
-        ~arrival:(Sim.now ctx.sim +. t.intra +. t.inter)
-        (msg_remote_request ~seq ~origin_region:reg.r_id ~origin_member:m)
+    if Rng.bernoulli sp.rngs.(g) ~p then begin
+      let pm = Rng.int sp.rngs.(g) t.r_size.(parent) in
+      Fabric.unicast t.fabric ~src_region:region ~dst_region:parent ~dst_member:pm
+        ~arrival:(Sim.now sp.sim +. t.intra +. t.inter)
+        (msg_remote_request ~seq ~origin_region:region
+           ~origin_member:(sp.m_base + g - t.r_base.(region)))
     end;
-    r.remote_timer <- Sim.schedule ctx.sim ~delay:t.remote_retry r.remote_thunk
+    r.remote_timer <- Sim.schedule sp.sim ~delay:t.remote_retry r.remote_thunk
   end
 
-(* a region neighbour asked [m] for [seq]; a bufferer touches the entry
+(* a region neighbour asked [g] for [seq]; a bufferer touches the entry
    (feedback) and replies, anyone else ignores it — the requester's
    timer probes someone else (the paper's local phase) *)
-and handle_local_request t reg m seq ~origin =
-  if Member_soa.buffered reg.soa m seq then begin
-    let ctx = t.ctxs.(reg.shard) in
-    ctx.mh_touches := !(ctx.mh_touches) + 1;
-    Member_soa.touch reg.soa m seq ~now:(Sim.now ctx.sim);
+and handle_local_request t sp g seq ~origin =
+  if Member_soa.buffered sp.soa g seq then begin
+    sp.mh_touches := !(sp.mh_touches) + 1;
+    Member_soa.touch sp.soa g seq ~now:(Sim.now sp.sim);
     ignore
-      (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
-           handle_repair t reg origin seq ~remote:false))
+      (Sim.schedule sp.sim ~delay:t.intra (fun () ->
+           handle_repair t sp origin seq ~remote:false))
   end
 
-and handle_repair t reg m seq ~remote =
-  if Member_soa.note_repaired reg.soa m seq then begin
-    accept t reg m seq ~via:`Repair;
+and handle_repair t sp g seq ~remote =
+  if Member_soa.note_repaired sp.soa g seq then begin
+    accept t sp g seq ~via:`Repair;
     (* a repair from a remote region is re-multicast locally so
        neighbours sharing the loss receive it (Section 2.2) *)
-    if remote then begin
-      let ctx = t.ctxs.(reg.shard) in
-      ignore
-        (Sim.schedule ctx.sim ~delay:t.intra (fun () -> regional_sweep t reg seq ~src:m))
-    end
+    if remote then
+      ignore (Sim.schedule sp.sim ~delay:t.intra (fun () -> regional_sweep t sp g seq))
   end
   else begin
     (* duplicate repair: feedback only *)
-    let ctx = t.ctxs.(reg.shard) in
-    ctx.mh_touches := !(ctx.mh_touches) + 1;
-    Member_soa.touch reg.soa m seq ~now:(Sim.now ctx.sim)
+    sp.mh_touches := !(sp.mh_touches) + 1;
+    Member_soa.touch sp.soa g seq ~now:(Sim.now sp.sim)
   end
 
 (* one coalesced event delivering the regional re-multicast of [seq] to
-   every member but the re-sender, in member order *)
-and regional_sweep t reg seq ~src =
-  let ctx = t.ctxs.(reg.shard) in
+   every member of [g0]'s region but [g0] itself, in member order *)
+and regional_sweep t sp g0 seq =
+  let region = region_of t sp g0 in
+  let gfirst = t.r_base.(region) - sp.m_base in
   (* one boxed read of the clock for the whole sweep, not one per touch *)
-  let now = Sim.now ctx.sim in
-  for j = 0 to reg.size - 1 do
-    if j <> src then
-      if Member_soa.note_repaired reg.soa j seq then accept t reg j seq ~via:`Regional
+  let now = Sim.now sp.sim in
+  for g = gfirst to gfirst + t.r_size.(region) - 1 do
+    if g <> g0 then
+      if Member_soa.note_repaired sp.soa g seq then accept t sp g seq ~via:`Regional
       else begin
-        ctx.mh_touches := !(ctx.mh_touches) + 1;
-        Member_soa.touch reg.soa j seq ~now
+        sp.mh_touches := !(sp.mh_touches) + 1;
+        Member_soa.touch sp.soa g seq ~now
       end
   done
 
-and handle_data t reg m seq =
-  (* gap detection reports into the region's create-time [on_gap]
+and handle_data t sp g seq =
+  (* gap detection reports into the spine's create-time [on_gap]
      callback (-> start_recovery): no closure on the deliver path *)
-  if Member_soa.note_data reg.soa m seq then accept t reg m seq ~via:`Multicast
+  if Member_soa.note_data sp.soa g seq then accept t sp g seq ~via:`Multicast
 
 (* a session advertisement (or learning a seq exists from a request
    about it) can reveal losses we hadn't detected yet *)
-let deliver_session _t reg m max_seq = Member_soa.note_session reg.soa m ~max_seq
+let deliver_session sp g max_seq = Member_soa.note_session sp.soa g ~max_seq
 
 (* Section 3.3's cases, bounded for the scale path: a bufferer touches
    and replies; a member that never received the seq records the loss
    for itself (the origin's own timer retries); a member that received
    and discarded stays silent — no region-wide search at 10^6 scale *)
-let handle_remote_request t reg m ~seq ~origin_region ~origin_member =
-  let ctx = t.ctxs.(reg.shard) in
-  if Member_soa.buffered reg.soa m seq then begin
-    let now = Sim.now ctx.sim in
-    ctx.mh_touches := !(ctx.mh_touches) + 1;
-    Member_soa.touch reg.soa m seq ~now;
-    Fabric.unicast t.fabric ~src_region:reg.r_id ~dst_region:origin_region
-      ~dst_member:origin_member
+let handle_remote_request t sp g ~seq ~origin_region ~origin_member =
+  if Member_soa.buffered sp.soa g seq then begin
+    let now = Sim.now sp.sim in
+    sp.mh_touches := !(sp.mh_touches) + 1;
+    Member_soa.touch sp.soa g seq ~now;
+    Fabric.unicast t.fabric
+      ~src_region:(region_of t sp g)
+      ~dst_region:origin_region ~dst_member:origin_member
       ~arrival:(now +. t.intra +. t.inter)
       (msg_remote_repair seq)
   end
-  else if not (Member_soa.received reg.soa m seq) then deliver_session t reg m seq
+  else if not (Member_soa.received sp.soa g seq) then deliver_session sp g seq
 
 let handle_parcel t region member msg =
-  let reg = t.regs.(region) in
+  let sp = t.spines.(t.r_shard.(region)) in
+  let g = t.r_base.(region) + member - sp.m_base in
   match msg land 3 with
-  | 0 -> handle_data t reg member (msg_seq msg)
-  | 1 -> deliver_session t reg member (msg_seq msg)
+  | 0 -> handle_data t sp g (msg_seq msg)
+  | 1 -> deliver_session sp g (msg_seq msg)
   | 2 ->
-    handle_remote_request t reg member ~seq:(msg_seq msg)
+    handle_remote_request t sp g ~seq:(msg_seq msg)
       ~origin_region:(msg_origin_region msg) ~origin_member:(msg_origin_member msg)
-  | _ -> handle_repair t reg member (msg_seq msg) ~remote:true
+  | _ -> handle_repair t sp g (msg_seq msg) ~remote:true
 
 (* ------------------------------------------------------------------ *)
 (* Idle / lifetime deadlines (the two-phase policy over the SoA ring)   *)
 (* ------------------------------------------------------------------ *)
 
-let idle_decision t reg ~member ~seq =
-  let ctx = t.ctxs.(reg.shard) in
-  let now = Sim.now ctx.sim in
+let idle_decision t sp ~g ~seq =
+  let now = Sim.now sp.sim in
+  let region = region_of t sp g in
+  let rsize = t.r_size.(region) in
   let c = t.config.Config.expected_bufferers in
   let keeps =
     match t.config.Config.selection with
-    | Config.Randomized -> Long_term.decide reg.rngs.(member) ~c ~n:reg.size
+    | Config.Randomized -> Long_term.decide sp.rngs.(g) ~c ~n:rsize
     | Config.Hashed ->
-      Long_term.hashed_decide ~node:(node_of reg member) ~id:(id_of t seq) ~c ~n:reg.size
+      Long_term.hashed_decide
+        ~node:(Node_id.of_int (sp.m_base + g))
+        ~id:(id_of t seq) ~c ~n:rsize
   in
   if keeps then begin
-    if Member_soa.promote_long reg.soa member seq ~now then
-      if ctx.observing then emit t reg member (Events.Promoted_long_term (id_of t seq))
+    if Member_soa.promote_long sp.soa g seq ~now then
+      if sp.observing then emit sp g (Events.Promoted_long_term (id_of t seq))
   end
-  else if Member_soa.drop reg.soa member seq ~now then
-    ctx.mh_discarded := !(ctx.mh_discarded) + 1
+  else if Member_soa.drop sp.soa g seq ~now then
+    sp.mh_discarded := !(sp.mh_discarded) + 1
 
-let lifetime_expired t reg ~member ~seq =
-  let ctx = t.ctxs.(reg.shard) in
-  if Member_soa.drop reg.soa member seq ~now:(Sim.now ctx.sim) then
-    ctx.mh_discarded := !(ctx.mh_discarded) + 1
+let lifetime_expired sp ~g ~seq =
+  if Member_soa.drop sp.soa g seq ~now:(Sim.now sp.sim) then
+    sp.mh_discarded := !(sp.mh_discarded) + 1
 
 (* ------------------------------------------------------------------ *)
 (* Sender: multicast and session fan-out                               *)
@@ -404,27 +426,27 @@ let lifetime_expired t reg ~member ~seq =
    regions get one fabric fanout each, the sender's own region one
    coalesced local event *)
 let rec session_tick t interval =
-  let sreg = t.regs.(0) in
-  let ctx = t.ctxs.(sreg.shard) in
+  let sp = t.spines.(t.r_shard.(0)) in
   if t.next_seq > 0 then begin
     let max_seq = t.next_seq - 1 in
-    let now = Sim.now ctx.sim in
-    if sreg.size > 1 then
+    let now = Sim.now sp.sim in
+    let size0 = t.r_size.(0) in
+    if size0 > 1 then
       ignore
-        (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
-             for m = 1 to sreg.size - 1 do
-               deliver_session t sreg m max_seq
+        (Sim.schedule sp.sim ~delay:t.intra (fun () ->
+             let gfirst = handle_of t sp 0 0 in
+             for g = gfirst + 1 to gfirst + size0 - 1 do
+               deliver_session sp g max_seq
              done));
-    for r = 1 to Array.length t.regs - 1 do
-      let reg = t.regs.(r) in
-      (* the shared everyone-array: the fabric only reads dsts, so all
-         session parcels of a region can alias one array *)
+    for r = 1 to t.nregions - 1 do
+      (* the shared iota array: the fabric only reads dsts, so all
+         session parcels can alias the one everyone-array *)
       Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
-        ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
-        ~dsts:reg.dsts_all (msg_session max_seq)
+        ~arrival:(now +. t.intra +. (float_of_int t.r_hops.(r) *. t.inter))
+        ~dsts:t.iota ~n:t.r_size.(r) (msg_session max_seq)
     done
   end;
-  ignore (Sim.schedule ctx.sim ~delay:interval (fun () -> session_tick t interval))
+  ignore (Sim.schedule sp.sim ~delay:interval (fun () -> session_tick t interval))
 
 let ensure_sessions t =
   if not t.session_on then
@@ -432,9 +454,8 @@ let ensure_sessions t =
     | None -> ()
     | Some interval ->
       t.session_on <- true;
-      let sreg = t.regs.(0) in
       ignore
-        (Sim.schedule t.ctxs.(sreg.shard).sim ~delay:interval (fun () ->
+        (Sim.schedule t.spines.(t.r_shard.(0)).sim ~delay:interval (fun () ->
              session_tick t interval))
 
 let multicast t ~reach =
@@ -442,25 +463,24 @@ let multicast t ~reach =
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   ensure_sessions t;
-  let sreg = t.regs.(0) in
-  let ctx = t.ctxs.(sreg.shard) in
-  let now = Sim.now ctx.sim in
+  let sp = t.spines.(t.r_shard.(0)) in
+  let now = Sim.now sp.sim in
+  let g0 = handle_of t sp 0 0 in
   (* the sender's own copy: bookkeeping without a Delivered event,
      mirroring Member.own_send_bookkeeping (the sender sends in seq
      order, so its note_data can never detect a gap) *)
-  ignore (Member_soa.note_data sreg.soa 0 seq);
-  ctx.mh_delivered := !(ctx.mh_delivered) + 1;
-  Member_soa.note_delivery sreg.soa 0;
-  if Member_soa.insert_short sreg.soa 0 seq ~now then
-    if ctx.observing then
-      emit t sreg 0 (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term });
+  ignore (Member_soa.note_data sp.soa g0 seq);
+  sp.mh_delivered := !(sp.mh_delivered) + 1;
+  Member_soa.note_delivery sp.soa g0;
+  if Member_soa.insert_short sp.soa g0 seq ~now then
+    if sp.observing then
+      emit sp g0 (Events.Buffered { id = id_of t seq; phase = Buffer.Short_term });
   (* fan out, consulting [reach] in (region, member) order; the local
      region is one coalesced event, every other region one parcel *)
-  for r = 0 to Array.length t.regs - 1 do
-    let reg = t.regs.(r) in
+  for r = 0 to t.nregions - 1 do
     let cnt = ref 0 in
     let first = if r = 0 then 1 else 0 in
-    for m = first to reg.size - 1 do
+    for m = first to t.r_size.(r) - 1 do
       if reach ~region:r ~member:m then begin
         t.scratch.(!cnt) <- m;
         incr cnt
@@ -473,12 +493,12 @@ let multicast t ~reach =
            [scratch] directly — the fabric copies into pooled storage *)
         let dsts = Array.sub t.scratch 0 !cnt in
         ignore
-          (Sim.schedule ctx.sim ~delay:t.intra (fun () ->
-               Array.iter (fun m -> handle_data t reg m seq) dsts))
+          (Sim.schedule sp.sim ~delay:t.intra (fun () ->
+               Array.iter (fun m -> handle_data t sp (g0 + m) seq) dsts))
       end
       else
         Fabric.fanout t.fabric ~src_region:0 ~dst_region:r
-          ~arrival:(now +. t.intra +. (float_of_int reg.hops *. t.inter))
+          ~arrival:(now +. t.intra +. (float_of_int t.r_hops.(r) *. t.inter))
           ~dsts:t.scratch ~n:!cnt (msg_data seq)
     end
   done
@@ -486,6 +506,12 @@ let multicast t ~reach =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
+
+let max_shards = 128
+
+(* placeholder generator for pre-sizing the per-spine rng arrays; every
+   slot is overwritten during construction before use *)
+let rng_dummy = Engine.Rng.create ~seed:0
 
 let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_ms = 50.0)
     ?observer () =
@@ -505,8 +531,20 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
     (fun s -> if s <= 0 then invalid_arg "Sharded.create: region sizes must be positive")
     sizes;
   if cap <= 0 then invalid_arg "Sharded.create: cap must be positive";
-  if shards < 1 || shards > nregions then
-    invalid_arg "Sharded.create: shards must be in [1, regions]";
+  (* the wire protocol bit-packs seq, origin region and origin member
+     into 20-bit fields: oversized configurations must fail loudly
+     here, not alias on the wire *)
+  if cap > 1 lsl field_bits then
+    invalid_arg "Sharded.create: cap exceeds the packed wire seq field";
+  if nregions > 1 lsl field_bits then
+    invalid_arg "Sharded.create: region count exceeds the packed wire field";
+  Array.iter
+    (fun s ->
+      if s > 1 lsl field_bits then
+        invalid_arg "Sharded.create: region size exceeds the packed wire field")
+    sizes;
+  if shards < 1 || shards > max_shards then
+    invalid_arg "Sharded.create: shards must be in [1, 128]";
   let quantum = config.Config.deadline_quantum in
   if quantum <= 0.0 then
     invalid_arg "Sharded.create: config.deadline_quantum must be positive";
@@ -514,102 +552,111 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
     invalid_arg "Sharded.create: latencies must be positive";
   if intra_ms +. inter_ms < quantum then
     invalid_arg "Sharded.create: intra_ms + inter_ms must cover one deadline quantum";
-  let make_ctx s =
-    let metrics = Metrics.create () in
-    let obs = match observer with None -> None | Some f -> f s in
-    {
-      (* pure-heap scheduler: the sharded path keeps its mass deadlines
-         in Member_soa's coalesced rings, so the Sim queue holds only
-         recovery timers and coalesced sweeps — small and cancel-heavy,
-         where the array-backed heap is allocation-free while the timer
-         wheel pays list conses, bucket sorts and compaction filters on
-         every recovery round *)
-      sim = Sim.create ~wheel:false ();
-      metrics;
-      mh_delivered = Metrics.handle metrics "rrmp.delivered";
-      mh_touches = Metrics.handle metrics "rrmp.feedback_touches";
-      mh_discarded = Metrics.handle metrics "rrmp.discarded";
-      observer = obs;
-      observing = obs <> None;
-    }
-  in
-  let ctxs = Array.make shards (make_ctx 0) in
-  for s = 1 to shards - 1 do
-    ctxs.(s) <- make_ctx s
-  done;
-  (* contiguous block partition: shard s owns [s*R/S, (s+1)*R/S) *)
-  let shard_of = Array.make nregions 0 in
+  (* contiguous block partition: shard s owns regions [s*R/S, (s+1)*R/S)
+     — a shard may own zero regions when shards > regions, and its
+     spine is then an empty arena that stays quiescent *)
+  let r_shard = Array.make nregions 0 in
   for s = 0 to shards - 1 do
     let lo = s * nregions / shards and hi = (s + 1) * nregions / shards in
     for r = lo to hi - 1 do
-      shard_of.(r) <- s
+      r_shard.(r) <- s
     done
   done;
-  let hops_of = Array.make nregions 0 in
+  let r_hops = Array.make nregions 0 in
   for r = 1 to nregions - 1 do
-    hops_of.(r) <- hops_of.(parents.(r)) + 1
+    r_hops.(r) <- r_hops.(parents.(r)) + 1
+  done;
+  let r_base = Array.make nregions 0 in
+  let total = ref 0 in
+  for r = 0 to nregions - 1 do
+    r_base.(r) <- !total;
+    total := !total + sizes.(r)
+  done;
+  let total = !total in
+  let member_region = Array.make total 0 in
+  for r = 0 to nregions - 1 do
+    Array.fill member_region r_base.(r) sizes.(r) r
   done;
   let idle_timeout =
     match config.Config.idle_rounds with
     | Some rounds -> rounds *. (2.0 *. intra_ms)
     | None -> config.Config.idle_threshold
   in
-  (* the fabric's deliver callback and the per-region deadline
-     callbacks close over [t] through this cell; they only ever fire
-     from inside event loops, long after [create] returns *)
+  (* the fabric's deliver callback and the per-spine deadline callbacks
+     close over [t] through this cell; they only ever fire from inside
+     event loops, long after [create] returns *)
   let t_cell = ref None in
   let get_t () = match !t_cell with Some t -> t | None -> assert false in
-  let make_region r base =
-    let shard = shard_of.(r) in
-    let sim = ctxs.(shard).sim in
+  let make_spine s =
+    let lo = s * nregions / shards and hi = (s + 1) * nregions / shards in
+    let m_base = if lo < hi then r_base.(lo) else 0 in
+    let m_count = ref 0 in
+    for r = lo to hi - 1 do
+      m_count := !m_count + sizes.(r)
+    done;
+    let m_count = !m_count in
+    let metrics = Metrics.create () in
+    let obs = match observer with None -> None | Some f -> f s in
+    (* pure-heap scheduler: the spine keeps its mass deadlines in the
+       arena's barrier-driven ring, so the Sim queue holds only
+       recovery timers and parcel arrivals — small and cancel-heavy,
+       where the array-backed heap is allocation-free while the timer
+       wheel pays list conses, bucket sorts and compaction filters on
+       every recovery round *)
+    let sim = Sim.create ~wheel:false () in
     let soa =
-      Member_soa.create ~sim ~n:sizes.(r) ~cap ~quantum ~idle_timeout
-        ~lifetime:config.Config.long_term_lifetime
+      Member_soa.create ~sim ~n:m_count ~cap ~quantum ~idle_timeout
+        ~lifetime:config.Config.long_term_lifetime ~barrier_driven:true
         ~on_idle:(fun ~member ~seq ->
           let t = get_t () in
-          idle_decision t t.regs.(r) ~member ~seq)
+          idle_decision t t.spines.(s) ~g:member ~seq)
         ~on_lifetime:(fun ~member ~seq ->
           let t = get_t () in
-          lifetime_expired t t.regs.(r) ~member ~seq)
+          lifetime_expired t.spines.(s) ~g:member ~seq)
         ~on_gap:(fun ~member ~seq ->
           let t = get_t () in
-          start_recovery t t.regs.(r) member seq)
+          start_recovery t t.spines.(s) member seq)
         ()
     in
     (* region streams are substreams of the seed indexed by region id —
        independent of the region-to-shard assignment — and member
-       generators are split from them in member order *)
-    let rng0 = Rng.substream ~seed ~index:r in
-    let rngs = Array.make sizes.(r) rng0 in
-    for m = 0 to sizes.(r) - 1 do
-      rngs.(m) <- Rng.split rng0
+       generators are split from them in member order; the flat
+       per-spine array keeps handle indexing one load *)
+    let rngs = if m_count = 0 then [||] else Array.make m_count rng_dummy in
+    let g = ref 0 in
+    for r = lo to hi - 1 do
+      let rng0 = Rng.substream ~seed ~index:r in
+      for _m = 0 to sizes.(r) - 1 do
+        rngs.(!g) <- Rng.split rng0;
+        incr g
+      done
     done;
     {
-      r_id = r;
-      shard;
-      size = sizes.(r);
-      base;
-      parent = parents.(r);
-      hops = hops_of.(r);
+      sim;
+      metrics;
+      mh_delivered = Metrics.handle metrics "rrmp.delivered";
+      mh_touches = Metrics.handle metrics "rrmp.feedback_touches";
+      mh_discarded = Metrics.handle metrics "rrmp.discarded";
+      observer = obs;
+      observing = obs <> None;
+      m_base;
+      m_count;
       soa;
-      dsts_all = Array.init sizes.(r) (fun i -> i);
       rngs;
       recoveries = Key_tbl.create 16;
       free_rec = rec_nil;
-      recovered = 0;
-      latency_sum = 0.0;
     }
   in
-  let regs = Array.make nregions (make_region 0 0) in
-  let base = ref sizes.(0) in
-  for r = 1 to nregions - 1 do
-    regs.(r) <- make_region r !base;
-    base := !base + sizes.(r)
+  let spines = Array.make shards (make_spine 0) in
+  for s = 1 to shards - 1 do
+    spines.(s) <- make_spine s
   done;
   let max_size = Array.fold_left (fun acc s -> if s > acc then s else acc) 0 sizes in
   let fabric =
-    Fabric.create ~regions:nregions ~quantum
-      ~sim_of:(fun r -> ctxs.(shard_of.(r)).sim)
+    Fabric.create ~regions:nregions ~shards
+      ~shard_of:(fun r -> r_shard.(r))
+      ~quantum
+      ~sim_of:(fun r -> spines.(r_shard.(r)).sim)
       ~deliver:(fun ~region ~member msg -> handle_parcel (get_t ()) region member msg)
   in
   let rtt = 2.0 *. intra_ms in
@@ -624,11 +671,20 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
         Float.max config.Config.min_timer
           (config.Config.rtt_multiplier *. (2.0 *. (intra_ms +. inter_ms)));
       cap;
-      total = !base;
-      regs;
-      ctxs;
+      total;
+      nregions;
+      r_shard;
+      r_size = Array.copy sizes;
+      r_base;
+      r_parent = Array.copy parents;
+      r_hops;
+      r_recovered = Array.make nregions 0;
+      r_latency_sum = Array.make nregions 0.0;
+      member_region;
+      spines;
       fabric;
       scratch = Array.make max_size 0;
+      iota = Array.init max_size (fun i -> i);
       sender_node = Node_id.of_int 0;
       next_seq = 0;
       session_on = false;
@@ -642,65 +698,79 @@ let create ~seed ~config ~sizes ~parents ~shards ~cap ?(intra_ms = 5.0) ?(inter_
 (* ------------------------------------------------------------------ *)
 
 let run t ~until =
-  let sims = Array.make (Array.length t.ctxs) t.ctxs.(0).sim in
-  for s = 1 to Array.length t.ctxs - 1 do
-    sims.(s) <- t.ctxs.(s).sim
+  let nsh = Array.length t.spines in
+  let sims = Array.make nsh t.spines.(0).sim in
+  for s = 1 to nsh - 1 do
+    sims.(s) <- t.spines.(s).sim
   done;
-  Engine.Shard.run ~sims ~quantum:t.quantum ~until
+  Engine.Shard.run ~sims
+    ~on_window:(fun ~shard ~barrier ->
+      (* the shard's clock sits exactly at [barrier], so deadlines due
+         at tick = floor(barrier / quantum) fire at the same virtual
+         time the Sim-scheduled sweeps would have run them; the barrier
+         sequence is the same for every shard count, so sweep timing is
+         shard-invariant *)
+      Member_soa.sweep_until t.spines.(shard).soa
+        ~tick:(int_of_float (Float.floor ((barrier /. t.quantum) +. 1e-9))))
+    ~busy:(fun s -> Member_soa.deadlines_pending t.spines.(s).soa)
+    ~quantum:t.quantum ~until
     ~exchange:(fun ~barrier -> Fabric.exchange t.fabric ~barrier)
     ();
-  Array.iter (fun reg -> Member_soa.settle_all reg.soa ~now:until) t.regs
+  Array.iter (fun sp -> Member_soa.settle_all sp.soa ~now:until) t.spines
 
+(* spine folds visit members in ascending global id — which is
+   ascending (region, member) order, the same fold order as a
+   per-region walk, so float sums are bit-identical across shard
+   counts *)
 let delivered_total t =
   let sum = ref 0 in
   Array.iter
-    (fun reg ->
-      for m = 0 to reg.size - 1 do
-        sum := !sum + Member_soa.deliveries reg.soa m
+    (fun sp ->
+      for g = 0 to sp.m_count - 1 do
+        sum := !sum + Member_soa.deliveries sp.soa g
       done)
-    t.regs;
+    t.spines;
   !sum
 
 let touches_total t =
   Array.fold_left
-    (fun acc ctx -> acc + Metrics.counter ctx.metrics "rrmp.feedback_touches")
-    0 t.ctxs
+    (fun acc sp -> acc + Metrics.counter sp.metrics "rrmp.feedback_touches")
+    0 t.spines
 
-let recovered_total t = Array.fold_left (fun acc reg -> acc + reg.recovered) 0 t.regs
+let recovered_total t = Array.fold_left ( + ) 0 t.r_recovered
 
-let recovery_latency_sum t =
-  Array.fold_left (fun acc reg -> acc +. reg.latency_sum) 0.0 t.regs
+let recovery_latency_sum t = Array.fold_left ( +. ) 0.0 t.r_latency_sum
 
 let occupancy_msg_ms_total t =
   let sum = ref 0.0 in
   Array.iter
-    (fun reg ->
-      for m = 0 to reg.size - 1 do
-        sum := !sum +. Member_soa.occupancy_msg_ms reg.soa m
+    (fun sp ->
+      for g = 0 to sp.m_count - 1 do
+        sum := !sum +. Member_soa.occupancy_msg_ms sp.soa g
       done)
-    t.regs;
+    t.spines;
   !sum
 
 let peak_buffered t =
   let peak = ref 0 in
   Array.iter
-    (fun reg ->
-      for m = 0 to reg.size - 1 do
-        let p = Member_soa.peak_size reg.soa m in
+    (fun sp ->
+      for g = 0 to sp.m_count - 1 do
+        let p = Member_soa.peak_size sp.soa g in
         if p > !peak then peak := p
       done)
-    t.regs;
+    t.spines;
   !peak
 
 let sim_events t =
-  Array.fold_left (fun acc ctx -> acc + Sim.events_executed ctx.sim) 0 t.ctxs
+  Array.fold_left (fun acc sp -> acc + Sim.events_executed sp.sim) 0 t.spines
 
 let sim_schedules t =
-  Array.fold_left (fun acc ctx -> acc + Sim.events_scheduled ctx.sim) 0 t.ctxs
+  Array.fold_left (fun acc sp -> acc + Sim.events_scheduled sp.sim) 0 t.spines
 
 let cross_region_parcels t = Fabric.posted t.fabric
 
 let long_term_bufferers t ~seq =
-  Array.fold_left (fun acc reg -> acc + Member_soa.promotions_of_seq reg.soa seq) 0 t.regs
+  Array.fold_left (fun acc sp -> acc + Member_soa.promotions_of_seq sp.soa seq) 0 t.spines
 
-let shard_metrics t s = t.ctxs.(s).metrics
+let shard_metrics t s = t.spines.(s).metrics

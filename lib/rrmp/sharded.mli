@@ -4,12 +4,25 @@
     and one {!Engine.Sim}) keeps every member as a heap record and runs
     on a single domain; it tops out around 10^4 members. This module is
     the scale path: regions are partitioned over [shards] independent
-    {!Engine.Sim}s driven in conservative-time lock-step by
-    {!Engine.Shard.run}, per-member hot state lives in the
-    struct-of-arrays arenas of {!Member_soa}, and all cross-region
-    traffic — the bounded remote-recovery flow plus the sender's
-    multicast/session fan-out — crosses shards in batches at
-    deadline-quantum barriers through {!Netsim.Fabric}.
+    {e event spines} driven in conservative-time lock-step by
+    {!Engine.Shard.run}, and all cross-region traffic — the bounded
+    remote-recovery flow plus the sender's multicast/session fan-out —
+    crosses shards in batches at deadline-quantum barriers through
+    {!Netsim.Fabric}.
+
+    {2 Per-shard event spine}
+
+    A shard owns exactly ONE of everything heavy: one {!Engine.Sim},
+    one {!Member_soa} arena holding every member of every region
+    assigned to it (with one barrier-driven deadline ring swept from
+    {!Engine.Shard.run}'s window hook — ring sweeps are not Sim events,
+    so {!sim_events} is shard-count invariant), one metrics registry
+    and observer, one recovery table and record pool, and one fabric
+    outbox block. A region is an integer index into flat per-session
+    arrays (size, base, parent, hops, recovery counters) and its
+    members are a contiguous slice of the shard arena, so the fixed
+    cost of a region is a handful of words — which is what takes
+    10^3-10^4 regions (10^6 members) from infeasible to routine.
 
     {2 Determinism}
 
@@ -69,11 +82,15 @@ val create :
     [observer] is a per-shard factory, called once per shard with the
     shard id ({!Events} observers must not be shared across shards:
     they run on that shard's domain). Default latencies are the paper's
-    5 ms intra / 50 ms inter.
+    5 ms intra / 50 ms inter. [shards] may exceed the region count:
+    regions are block-partitioned, surplus shards simply own empty
+    spines that stay quiescent, and the result is still byte-identical
+    to [shards = 1].
     @raise Invalid_argument on an invalid config
     ([config.deadline_quantum] must be positive), malformed region
-    forest, [shards] outside [1, regions], non-positive sizes or [cap],
-    or [intra_ms +. inter_ms < config.deadline_quantum]. *)
+    forest, [shards] outside [1, 128], non-positive sizes or [cap],
+    [cap] or a region count/size exceeding the packed 20-bit wire
+    fields, or [intra_ms +. inter_ms < config.deadline_quantum]. *)
 
 val regions : t -> int
 
@@ -124,7 +141,7 @@ val cross_region_parcels : t -> int
 (** Parcels that crossed a barrier ({!Netsim.Fabric.posted}). *)
 
 val long_term_bufferers : t -> seq:int -> int
-(** How many members promoted [seq] to long-term, summed over regions —
+(** How many members promoted [seq] to long-term, summed over shards —
     compare with the paper's Poisson(C) prediction. *)
 
 val shard_metrics : t -> int -> Tracing.Metrics.t

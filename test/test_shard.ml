@@ -84,6 +84,32 @@ let test_shard_exchange_injection () =
     ();
   Alcotest.(check (float 0.0)) "cross-shard event ran at its arrival" 12.0 !delivered
 
+(* the spine hooks: [on_window] runs once per shard per window with the
+   clock at the barrier (barrier-driven ring sweeps), and a [busy]
+   shard keeps the window loop alive with zero Sim events in flight —
+   the loop must not declare quiescence while ring deadlines are armed *)
+let test_shard_on_window_busy () =
+  with_jobs 1 (fun () ->
+      let sims = [| Sim.create (); Sim.create () |] in
+      let seen = ref [] in
+      let remaining = ref 3 in
+      Shard.run ~sims ~quantum:10.0 ~until:100.0
+        ~on_window:(fun ~shard ~barrier ->
+          Alcotest.(check (float 0.0))
+            "clock sits at the barrier during the hook" barrier
+            (Sim.now sims.(shard));
+          seen := (shard, barrier) :: !seen)
+        ~busy:(fun s -> s = 0 && !remaining > 0)
+        ~exchange:(fun ~barrier:_ ->
+          decr remaining;
+          0)
+        ();
+      Alcotest.(check (list (pair int (float 0.0))))
+        "three windows ran, shard order within each, despite empty Sims"
+        [ (0, 10.0); (1, 10.0); (0, 20.0); (1, 20.0); (0, 30.0); (1, 30.0) ]
+        (List.rev !seen);
+      Alcotest.(check (float 0.0)) "clock lands at until" 100.0 (Sim.now sims.(0)))
+
 (* ------------------------------------------------------------------ *)
 (* Netsim.Fabric: deterministic barrier exchange                       *)
 (* ------------------------------------------------------------------ *)
@@ -95,7 +121,9 @@ let test_fabric_exchange_order () =
   let sim = Sim.create () in
   let log = ref [] in
   let fab =
-    Fabric.create ~regions:3 ~quantum:10.0
+    Fabric.create ~regions:3 ~shards:2
+      ~shard_of:(fun r -> if r = 0 then 0 else 1)
+      ~quantum:10.0
       ~sim_of:(fun _ -> sim)
       ~deliver:(fun ~region ~member msg -> log := (region, member, msg) :: !log)
   in
@@ -118,7 +146,9 @@ let test_fabric_exchange_order () =
 let test_fabric_conservative_guard () =
   let sim = Sim.create () in
   let fab =
-    Fabric.create ~regions:2 ~quantum:10.0
+    Fabric.create ~regions:2 ~shards:1
+      ~shard_of:(fun _ -> 0)
+      ~quantum:10.0
       ~sim_of:(fun _ -> sim)
       ~deliver:(fun ~region:_ ~member:_ () -> ())
   in
@@ -129,7 +159,9 @@ let test_fabric_conservative_guard () =
   Alcotest.check_raises "quantum <= 0"
     (Invalid_argument "Fabric.create: quantum must be positive") (fun () ->
       ignore
-        (Fabric.create ~regions:1 ~quantum:0.0
+        (Fabric.create ~regions:1 ~shards:1
+           ~shard_of:(fun _ -> 0)
+           ~quantum:0.0
            ~sim_of:(fun _ -> sim)
            ~deliver:(fun ~region:_ ~member:_ () -> ())))
 
@@ -340,6 +372,47 @@ let test_soa_ring_semantics () =
        (fun (at, cls, m, s) -> Printf.sprintf "%.0f %s m%d/s%d" at (pp_cls cls) m s)
        !fired)
 
+(* barrier-driven mode: the ring schedules no Sim events at all —
+   sweeps run from [sweep_until] at the coordinator's barriers, fire in
+   tick order, never early, and [deadlines_pending] is the quiescence
+   signal the shard driver's [busy] hook consults *)
+let test_soa_barrier_ring () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let record cls ~member ~seq = fired := (cls, member, seq) :: !fired in
+  let soa =
+    Soa.create ~sim ~n:2 ~cap:8 ~quantum:10.0 ~idle_timeout:40.0 ~lifetime:(Some 100.0)
+      ~barrier_driven:true ~on_idle:(record `Idle) ~on_lifetime:(record `Life)
+      ~on_gap:(fun ~member:_ ~seq:_ -> ())
+      ()
+  in
+  ignore (Soa.insert_short soa 1 4 ~now:0.0 : bool);
+  (* idle due 40 -> tick 4 *)
+  ignore (Soa.insert_short soa 0 0 ~now:5.0 : bool);
+  (* idle due 45 -> tick 5 *)
+  ignore (Soa.insert_short soa 0 2 ~now:0.0 : bool);
+  ignore (Soa.promote_long soa 0 2 ~now:0.0 : bool);
+  (* lifetime due 100 -> tick 10 *)
+  Alcotest.(check int) "no Sim events for the ring" 0 (Sim.pending sim);
+  Alcotest.(check bool) "deadlines pending" true (Soa.deadlines_pending soa);
+  Soa.sweep_until soa ~tick:3;
+  Alcotest.(check int) "nothing fires before its tick" 0 (List.length !fired);
+  Soa.sweep_until soa ~tick:5;
+  Alcotest.(check bool) "still pending (lifetime armed)" true (Soa.deadlines_pending soa);
+  Soa.sweep_until soa ~tick:12;
+  let pp (cls, m, s) =
+    Printf.sprintf "%s m%d/s%d" (match cls with `Idle -> "idle" | `Life -> "life") m s
+  in
+  Alcotest.(check (list string))
+    "ticks fire in order" [ "idle m1/s4"; "idle m0/s0"; "life m0/s2" ]
+    (List.rev_map pp !fired);
+  Alcotest.(check bool) "drained" false (Soa.deadlines_pending soa);
+  (* a Sim-driven arena refuses external sweeps *)
+  let sim_driven = unobserved_soa ~sim ~n:1 ~cap:4 () in
+  Alcotest.check_raises "sweep_until on a Sim-driven arena"
+    (Invalid_argument "Member_soa.sweep_until: arena sweeps are Sim-driven") (fun () ->
+      Soa.sweep_until sim_driven ~tick:1)
+
 let test_soa_create_validation () =
   let sim = Sim.create () in
   let mk ?(n = 1) ?(cap = 1) ?(quantum = 1.0) ?(idle = 1.0) ?lifetime () =
@@ -350,16 +423,23 @@ let test_soa_create_validation () =
          ~on_gap:(fun ~member:_ ~seq:_ -> ())
          ())
   in
-  Alcotest.check_raises "n" (Invalid_argument "Member_soa.create: n must be positive")
-    (fun () -> mk ~n:0 ());
+  Alcotest.check_raises "n" (Invalid_argument "Member_soa.create: n must be non-negative")
+    (fun () -> mk ~n:(-1) ());
   Alcotest.check_raises "cap" (Invalid_argument "Member_soa.create: cap must be positive")
     (fun () -> mk ~cap:0 ());
+  (* the bucket entries pack (m * cap + seq) lsl 1, so n * cap must fit
+     in 62 bits — the guard fires before any array is sized *)
+  Alcotest.check_raises "packed key overflow"
+    (Invalid_argument "Member_soa.create: n * cap exceeds the packed (member, seq) key range")
+    (fun () -> mk ~n:(max_int / 8) ~cap:32 ());
   Alcotest.check_raises "quantum"
     (Invalid_argument "Member_soa.create: quantum must be positive") (fun () ->
       mk ~quantum:0.0 ());
   Alcotest.check_raises "lifetime"
     (Invalid_argument "Member_soa.create: lifetime must be positive") (fun () ->
       mk ~lifetime:0.0 ());
+  (* empty arenas are legal: a surplus shard owns zero members *)
+  mk ~n:0 ();
   mk ()
 
 (* ------------------------------------------------------------------ *)
@@ -395,7 +475,18 @@ let test_sharded_shard_count_invariant () =
   List.iter
     (fun s ->
       check_cell_equal (Printf.sprintf "shards=%d vs 1" s) (sharded_cell ~shards:s ()) base)
-    [ 2; 3; 5 ]
+    [ 2; 3; 5; 7 ]
+
+(* shard count may exceed the region count: the partition then contains
+   empty shards (zero regions — an empty spine that must stay quiescent
+   without wedging the barrier loop), alongside one-region shards and,
+   in the base run, one shard owning every region. All byte-identical. *)
+let test_sharded_empty_shards () =
+  let base = sharded_cell ~shards:1 () in
+  check_cell_equal "shards=7 over 5 regions vs 1" (sharded_cell ~shards:7 ()) base;
+  check_cell_equal "shards=128 (123 empty spines) vs 1"
+    (sharded_cell ~shards:128 ())
+    base
 
 (* ... and for every worker count driving those shards *)
 let test_sharded_jobs_invariant () =
@@ -426,9 +517,15 @@ let test_sharded_create_validation () =
       (Rrmp.Sharded.create ~seed:1 ~config ~sizes ~parents ~shards ~cap ~intra_ms
          ~inter_ms ())
   in
-  Alcotest.check_raises "shards > regions"
-    (Invalid_argument "Sharded.create: shards must be in [1, regions]") (fun () ->
-      mk ~shards:3 ());
+  Alcotest.check_raises "shards = 0"
+    (Invalid_argument "Sharded.create: shards must be in [1, 128]") (fun () ->
+      mk ~shards:0 ());
+  Alcotest.check_raises "shards = 129"
+    (Invalid_argument "Sharded.create: shards must be in [1, 128]") (fun () ->
+      mk ~shards:129 ());
+  Alcotest.check_raises "cap beyond the wire seq field"
+    (Invalid_argument "Sharded.create: cap exceeds the packed wire seq field") (fun () ->
+      mk ~cap:((1 lsl 20) + 1) ());
   Alcotest.check_raises "root parent"
     (Invalid_argument "Sharded.create: region 0 must be the root (parent -1)") (fun () ->
       mk ~parents:[| 0; 0 |] ());
@@ -438,6 +535,8 @@ let test_sharded_create_validation () =
   Alcotest.check_raises "latency below quantum"
     (Invalid_argument "Sharded.create: intra_ms + inter_ms must cover one deadline quantum")
     (fun () -> mk ~intra_ms:2.0 ~inter_ms:3.0 ());
+  (* shards > regions is legal now: surplus shards own empty spines *)
+  mk ~shards:3 ();
   mk ()
 
 let test_sharded_capacity_guard () =
@@ -451,6 +550,21 @@ let test_sharded_capacity_guard () =
   Alcotest.check_raises "cap exhausted"
     (Invalid_argument "Sharded.multicast: sequence capacity exhausted") (fun () ->
       Rrmp.Sharded.multicast t ~reach)
+
+(* the spine acceptance budget: marginal per-region fixed cost. The
+   per-region-scaffolding path paid 243.7 heap words and 3.0 Sim
+   schedules per region; the per-shard spine must hold a >= 4x words
+   reduction and ~1 schedule (the region's injected data parcel). The
+   bench enforces the same budget on every full run. *)
+let test_region_overhead_budget () =
+  let words, scheds = Ext_scale.region_overhead () in
+  Alcotest.(check bool)
+    (Printf.sprintf "marginal words/region %.1f within the 61.0 budget" words)
+    true (words <= 61.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "marginal Sim schedules/region %.2f within the 1.5 budget" scheds)
+    true
+    (scheds <= 1.5)
 
 (* ------------------------------------------------------------------ *)
 (* Registry-wide report identity across shard counts                   *)
@@ -484,6 +598,7 @@ let suites =
         Alcotest.test_case "windows and quiescence" `Quick
           test_shard_windows_and_quiescence;
         Alcotest.test_case "exchange injection" `Quick test_shard_exchange_injection;
+        Alcotest.test_case "on_window and busy hooks" `Quick test_shard_on_window_busy;
       ] );
     ( "netsim.fabric",
       [
@@ -495,6 +610,7 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_gap_lockstep;
         QCheck_alcotest.to_alcotest qcheck_buffer_lockstep;
         Alcotest.test_case "deadline ring semantics" `Quick test_soa_ring_semantics;
+        Alcotest.test_case "barrier-driven ring" `Quick test_soa_barrier_ring;
         Alcotest.test_case "create validation" `Quick test_soa_create_validation;
       ] );
     ( "rrmp.sharded",
@@ -503,10 +619,14 @@ let suites =
           test_sharded_shard_count_invariant;
         Alcotest.test_case "stats worker-count invariant" `Quick
           test_sharded_jobs_invariant;
+        Alcotest.test_case "empty shards quiescent and identical" `Quick
+          test_sharded_empty_shards;
         Alcotest.test_case "observer transparent" `Quick test_sharded_observer_transparent;
         Alcotest.test_case "zero loss, full delivery" `Quick test_sharded_zero_loss;
         Alcotest.test_case "create validation" `Quick test_sharded_create_validation;
         Alcotest.test_case "capacity guard" `Quick test_sharded_capacity_guard;
+        Alcotest.test_case "region overhead within spine budget" `Quick
+          test_region_overhead_budget;
         Alcotest.test_case "registry reports identical --shards 1 vs 4" `Slow
           test_registry_reports_shard_invariant;
       ] );
