@@ -1265,6 +1265,13 @@ let () =
     (* just the per-path allocation gates + BENCH_alloc.json; --smoke
        shrinks the op counts (budgets are identical) *)
     run_alloc_gates ~smoke:(Array.exists (String.equal "--smoke") argv) ()
+  else if Array.exists (String.equal "--net") argv then begin
+    (* real-traffic backend: RRMP over UDP loopback through the binary
+       codec + the codec micro-benchmarks, into BENCH_net.json *)
+    let smoke = Array.exists (String.equal "--smoke") argv in
+    write_json "BENCH_net.json" (suite_json ~suite:"net" ~smoke (Net_bench.run ~smoke ()));
+    if smoke then validate_json "BENCH_net.json"
+  end
   else if Array.exists (String.equal "--scale-only") argv then begin
     (* just the ring-vs-timers + sharded sweeps + their JSON, for quick
        iteration *)

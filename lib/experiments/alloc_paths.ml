@@ -236,6 +236,45 @@ let run_remote_repair ~ops =
       non_sender group (Rrmp.Group.members_of_region group (List.hd regions)))
     ~ops
 
+(* Codec gates: the per-datagram cost of the real-traffic backend.
+   Encode writes an interned 1 KiB Data frame into a preallocated
+   buffer; decode revalidates those bytes through a pooled decoder via
+   [Codec.read] — the status is a constant constructor and no [Wire.t]
+   is materialized, exactly what [Udp_loopback.drain] does before
+   deciding whether to hand a frame up. Both are ≤1.0-words/op gates
+   (the codec stages nothing per op, but the bound leaves headroom for
+   probe jitter rather than demanding exact zero on a path that
+   crosses a Bigarray boundary). *)
+
+let codec_frame () =
+  let id = Protocol.Msg_id.make ~source:(Node_id.of_int 3) ~seq:17 in
+  let msg = Rrmp.Wire.Data (Rrmp.Payload.make ~size:1024 id) in
+  let size = Rrmp.Codec.encoded_size msg in
+  let buf = Bigarray.Array1.create Bigarray.char Bigarray.c_layout size in
+  ignore (Rrmp.Codec.encode buf ~off:0 msg : int);
+  (msg, buf, size)
+
+let run_codec_encode ~ops =
+  let msg, buf, _ = codec_frame () in
+  measure ~name:"alloc/codec-encode"
+    ~what:"encode a 1 KiB Data frame into a preallocated wire buffer" ~budget:1.0 ~exact:false
+    ~ops (fun () ->
+      for _ = 1 to ops do
+        ignore (Rrmp.Codec.encode buf ~off:0 msg : int)
+      done)
+
+let run_codec_decode ~ops =
+  let _, buf, size = codec_frame () in
+  let dec = Rrmp.Codec.create_decoder () in
+  measure ~name:"alloc/codec-decode"
+    ~what:"validate a 1 KiB Data frame through a pooled decoder (read, no materialization)"
+    ~budget:1.0 ~exact:false ~ops (fun () ->
+      for _ = 1 to ops do
+        match Rrmp.Codec.read dec buf ~off:0 ~len:size with
+        | Rrmp.Codec.Ok_frame -> ()
+        | Rrmp.Codec.Err _ -> assert false
+      done)
+
 let run ?(quick = false) () =
   let d = if quick then 2 else 1 in
   [
@@ -245,6 +284,8 @@ let run ?(quick = false) () =
     run_remote_repair ~ops:(256 / d);
     run_regional_fanout ~regions:4 ~per_region:256 ~batches:(8 / d);
     run_deadline_touch ~n:(64 / d) ~k:64 ~rounds:4;
+    run_codec_encode ~ops:(100_000 / d);
+    run_codec_decode ~ops:(100_000 / d);
   ]
 
 let failures results =

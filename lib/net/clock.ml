@@ -1,0 +1,20 @@
+(* Time sources for the capability boundary: member logic asks "what
+   time is it" through a closure, so the same protocol code runs on
+   the deterministic sim clock or on wall time. *)
+
+type t = unit -> float
+
+let of_sim sim () = Engine.Sim.now sim
+
+let[@lint.allow
+     "D1 the wall clock is the real-traffic backend's time source by design; it never runs \
+      inside a seeded simulation — sim paths use of_sim, and rrmp_lint keeps gettimeofday out \
+      of every other lib module"] wall () =
+  let start = Unix.gettimeofday () in
+  (* gettimeofday can step backwards (NTP); clamping makes the returned
+     clock monotonic, which the timer wheel requires *)
+  let last = ref 0.0 in
+  fun () ->
+    let t = (Unix.gettimeofday () -. start) *. 1000.0 in
+    if t > !last then last := t;
+    !last

@@ -1,0 +1,13 @@
+(** Time sources (milliseconds) for {!Rrmp.Member.caps.cap_now}. *)
+
+type t = unit -> float
+(** A clock is just a closure returning the current time in ms. *)
+
+val of_sim : Engine.Sim.t -> t
+(** The deterministic simulation clock (the default member behaviour
+    reads this through {!Rrmp.Member.netsim_caps}). *)
+
+val wall : unit -> t
+(** A monotonic wall clock: ms since [wall] was called, clamped so it
+    never steps backwards even if the system clock does. Each call to
+    [wall] creates an independent epoch. *)

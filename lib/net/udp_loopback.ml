@@ -1,0 +1,178 @@
+(* Real UDP datagrams over 127.0.0.1, one nonblocking socket per
+   member. Every member binds an ephemeral port (no port conflicts,
+   parallel test runs included) and the port learned from getsockname
+   identifies the sender on receipt.
+
+   Hot-path discipline: sends encode into a preallocated Codec.Ring
+   slot and cross into the kernel through one reused Bytes scratch
+   (the Unix sendto/recvfrom API takes Bytes, not Bigarray — the blit
+   is a plain char loop); receives land in one scratch, are validated
+   by a pooled Codec decoder, and only materialize a Wire.t (fresh
+   payload bodies, safe for the member to retain) once the frame has
+   passed validation. Loss injection for controlled experiments sits
+   on the send side — a dropped datagram never costs a syscall — and
+   is driven by an explicit seeded Rng, so a loss schedule is
+   reproducible for a fixed send sequence. *)
+
+type t = {
+  nodes : Node_id.t array;
+  socks : Unix.file_descr array;
+  addrs : Unix.sockaddr array;  (* indexed like [nodes] *)
+  index_of : (int, int) Hashtbl.t;  (* node id -> index *)
+  port_of : (int, int) Hashtbl.t;  (* udp port -> index *)
+  ring : Rrmp.Codec.Ring.t;
+  send_scratch : Bytes.t;
+  recv_scratch : Bytes.t;
+  recv_frame : Rrmp.Codec.buf;
+  dec : Rrmp.Codec.decoder;
+  loss : float;
+  rng : Engine.Rng.t;
+  st : Transport.stats;
+  mutable closed : bool;
+}
+
+let stats t = t.st
+
+let nodes t = t.nodes
+
+let port t node =
+  match Hashtbl.find_opt t.index_of (Node_id.to_int node) with
+  | None -> invalid_arg "Udp_loopback.port: unknown node"
+  | Some i -> (
+    match t.addrs.(i) with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> invalid_arg "Udp_loopback.port: not an inet endpoint")
+
+let create ?(loss = 0.0) ?(seed = 0x6e6574) ?(slot_bytes = 65536) ~nodes () =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Udp_loopback.create: loss outside [0, 1]";
+  let n = Array.length nodes in
+  let index_of = Hashtbl.create (2 * n) in
+  let port_of = Hashtbl.create (2 * n) in
+  let socks =
+    Array.map
+      (fun _ ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.set_nonblock sock;
+        (* ask for roomy queues; the kernel clamps to its limits, and
+           overflow beyond that shows up as real drops the protocol's
+           recovery has to repair — which is the point of the bench *)
+        (try Unix.setsockopt_int sock Unix.SO_RCVBUF (4 * 1024 * 1024) with Unix.Unix_error _ -> ());
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        sock)
+      nodes
+  in
+  let addrs = Array.map Unix.getsockname socks in
+  Array.iteri
+    (fun i node ->
+      Hashtbl.replace index_of (Node_id.to_int node) i;
+      match addrs.(i) with
+      | Unix.ADDR_INET (_, p) -> Hashtbl.replace port_of p i
+      | Unix.ADDR_UNIX _ -> ())
+    nodes;
+  {
+    nodes;
+    socks;
+    addrs;
+    index_of;
+    port_of;
+    ring = Rrmp.Codec.Ring.create ~slot_bytes ~slots:4 ();
+    send_scratch = Bytes.create slot_bytes;
+    recv_scratch = Bytes.create slot_bytes;
+    recv_frame = Bigarray.Array1.create Bigarray.char Bigarray.c_layout slot_bytes;
+    dec = Rrmp.Codec.create_decoder ();
+    loss;
+    rng = Engine.Rng.create ~seed;
+    st = Transport.make_stats ();
+    closed = false;
+  }
+
+let index_exn t node =
+  match Hashtbl.find_opt t.index_of (Node_id.to_int node) with
+  | Some i -> i
+  | None -> invalid_arg "Udp_loopback: node not part of this transport"
+
+(* annotating [frame] keeps the bigarray access monomorphic (direct
+   load/store instead of the generic kind-dispatch primitive) *)
+let rec blit_out (frame : Rrmp.Codec.buf) off (scratch : Bytes.t) i n =
+  if i < n then begin
+    Bytes.unsafe_set scratch i (Bigarray.Array1.unsafe_get frame (off + i));
+    blit_out frame off scratch (i + 1) n
+  end
+
+let rec blit_in (scratch : Bytes.t) (frame : Rrmp.Codec.buf) i n =
+  if i < n then begin
+    Bigarray.Array1.unsafe_set frame i (Bytes.unsafe_get scratch i);
+    blit_in scratch frame (i + 1) n
+  end
+
+let send t ~src ~dst msg =
+  if not t.closed then begin
+    let src_i = index_exn t src in
+    let dst_i = index_exn t dst in
+    if t.loss > 0.0 && Engine.Rng.bernoulli t.rng ~p:t.loss then
+      t.st.Transport.dropped_loss <- t.st.Transport.dropped_loss + 1
+    else begin
+      let size = Rrmp.Codec.encoded_size msg in
+      if size > Rrmp.Codec.Ring.slot_bytes t.ring then
+        t.st.Transport.dropped_oversize <- t.st.Transport.dropped_oversize + 1
+      else begin
+        let frame = Rrmp.Codec.Ring.buf t.ring in
+        let off = Rrmp.Codec.Ring.acquire t.ring in
+        let size = Rrmp.Codec.encode frame ~off msg in
+        blit_out frame off t.send_scratch 0 size;
+        match Unix.sendto t.socks.(src_i) t.send_scratch 0 size [] t.addrs.(dst_i) with
+        | _written ->
+          t.st.Transport.datagrams_sent <- t.st.Transport.datagrams_sent + 1;
+          t.st.Transport.bytes_sent <- t.st.Transport.bytes_sent + size
+        | exception
+            Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ENOBUFS | Unix.ECONNREFUSED), _, _)
+          ->
+          t.st.Transport.dropped_backpressure <- t.st.Transport.dropped_backpressure + 1
+      end
+    end
+  end
+
+(* drain one socket until the kernel reports it empty; -1 from the
+   receive means dry *)
+let recv_one t i =
+  match Unix.recvfrom t.socks.(i) t.recv_scratch 0 (Bytes.length t.recv_scratch) [] with
+  | n, Unix.ADDR_INET (_, sender_port) -> (n, sender_port)
+  | _n, Unix.ADDR_UNIX _ -> (0, -1)
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (-1, -1)
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> (0, -1)
+
+let drain t ~handle =
+  if t.closed then 0
+  else begin
+    let handed = ref 0 in
+    for i = 0 to Array.length t.socks - 1 do
+      let dry = ref false in
+      while not !dry do
+        let n, sender_port = recv_one t i in
+        if n < 0 then dry := true
+        else if n = 0 then ()
+        else begin
+          t.st.Transport.datagrams_received <- t.st.Transport.datagrams_received + 1;
+          t.st.Transport.bytes_received <- t.st.Transport.bytes_received + n;
+          blit_in t.recv_scratch t.recv_frame 0 n;
+          match Rrmp.Codec.read t.dec t.recv_frame ~off:0 ~len:n with
+          | Rrmp.Codec.Err _ ->
+            t.st.Transport.decode_errors <- t.st.Transport.decode_errors + 1
+          | Rrmp.Codec.Ok_frame -> (
+            match Hashtbl.find_opt t.port_of sender_port with
+            | None -> t.st.Transport.decode_errors <- t.st.Transport.decode_errors + 1
+            | Some src_i ->
+              let msg = Rrmp.Codec.view t.dec ~copy:true in
+              incr handed;
+              handle ~src:t.nodes.(src_i) ~dst:t.nodes.(i) msg)
+        end
+      done
+    done;
+    !handed
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter (fun sock -> try Unix.close sock with Unix.Unix_error _ -> ()) t.socks
+  end

@@ -61,9 +61,26 @@ type search = {
   mutable search_tries : int;
 }
 
+(* The member's I/O capabilities: everything it needs from the outside
+   world is a clock read plus four send primitives. The default
+   instantiation (netsim_caps) delegates straight to the simulated
+   network; lib/net's UDP harness substitutes real-socket closures, so
+   the identical protocol logic runs on sim time or wall time — the
+   first slice of the sans-io refactor. The closures are built once at
+   creation and fully applied at each call site, so the indirection
+   allocates nothing. *)
+type caps = {
+  cap_now : unit -> float;
+  cap_unicast : cls:string -> src:Node_id.t -> dst:Node_id.t -> Wire.t -> unit;
+  cap_regional : cls:string -> src:Node_id.t -> region:Region_id.t -> Wire.t -> unit;
+  cap_multicast : cls:string -> src:Node_id.t -> reach:(Node_id.t -> bool) -> Wire.t -> unit;
+  cap_multicast_lossy : cls:string -> src:Node_id.t -> Wire.t -> unit;
+}
+
 type t = {
   net : Wire.t Network.t;
   sim : Sim.t;
+  caps : caps;
   config : Config.t;
   rng : Rng.t;
   node : Node_id.t;
@@ -117,16 +134,27 @@ let refresh_view t =
   | None -> ()
   | Some fd -> Membership.Gossip_fd.set_peers fd (View.local_members t.view)
 
+let netsim_caps net =
+  {
+    cap_now = (fun () -> Sim.now (Network.sim net));
+    cap_unicast = (fun ~cls ~src ~dst msg -> Network.unicast net ~cls ~src ~dst msg);
+    cap_regional =
+      (fun ~cls ~src ~region msg -> Network.regional_multicast net ~cls ~src ~region msg);
+    cap_multicast = (fun ~cls ~src ~reach msg -> Network.ip_multicast net ~cls ~src ~reach msg);
+    cap_multicast_lossy = (fun ~cls ~src msg -> Network.ip_multicast_lossy net ~cls ~src msg);
+  }
+
+let now t = t.caps.cap_now ()
+
 let emit t event =
   match t.observer with
   | None -> ()
-  | Some f -> f ~time:(Sim.now t.sim) ~self:t.node event
+  | Some f -> f ~time:(now t) ~self:t.node event
 
-let send t ~dst msg = Network.unicast t.net ~cls:(Wire.cls msg) ~src:t.node ~dst msg
+let send t ~dst msg = t.caps.cap_unicast ~cls:(Wire.cls msg) ~src:t.node ~dst msg
 
 let regional t msg =
-  Network.regional_multicast t.net ~cls:(Wire.cls msg) ~src:t.node
-    ~region:(View.region t.view) msg
+  t.caps.cap_regional ~cls:(Wire.cls msg) ~src:t.node ~region:(View.region t.view) msg
 
 (* ------------------------------------------------------------------ *)
 (* Timer estimates                                                     *)
@@ -206,7 +234,7 @@ let cancel_idle t id =
 let buffered_for t id =
   match Buffer.stored_at t.buffer id with
   | None -> 0.0
-  | Some at -> Sim.now t.sim -. at
+  | Some at -> now t -. at
 
 let discard t id ~phase =
   let duration = if t.observing then buffered_for t id else 0.0 in
@@ -311,12 +339,12 @@ let cancel_recovery t id =
   | Some r ->
     Option.iter Sim.cancel r.local_timer;
     Option.iter Sim.cancel r.remote_timer;
-    if r.local_tries > 0 then note_rtt_sample t (Sim.now t.sim -. r.last_probe_at);
+    if r.local_tries > 0 then note_rtt_sample t (now t -. r.last_probe_at);
     Msg_id.Table.remove t.recoveries id;
     if t.observing then
       emit t
         (Events.Recovered
-           { id; latency = Sim.now t.sim -. r.detected_at; local_tries = r.local_tries })
+           { id; latency = now t -. r.detected_at; local_tries = r.local_tries })
 
 let tries_exhausted t tries =
   match t.config.Config.max_recovery_tries with
@@ -331,7 +359,7 @@ let rec local_round t id r =
      | None -> ()  (* alone in the region: only remote recovery can help *)
      | Some q ->
        r.local_tries <- r.local_tries + 1;
-       r.last_probe_at <- Sim.now t.sim;
+       r.last_probe_at <- now t;
        send t ~dst:q (Wire_arena.local_request t.arena id));
     r.local_timer <-
       Some (Sim.schedule t.sim ~delay:(local_timeout t) (fun () -> local_round t id r))
@@ -360,12 +388,12 @@ let start_recovery t id =
     if t.observing then emit t (Events.Loss_detected id);
     let r =
       {
-        detected_at = Sim.now t.sim;
+        detected_at = now t;
         local_timer = None;
         remote_timer = None;
         local_tries = 0;
         remote_tries = 0;
-        last_probe_at = Sim.now t.sim;
+        last_probe_at = now t;
       }
     in
     Msg_id.Table.add t.recoveries id r;
@@ -698,7 +726,7 @@ let handle_delivery t (delivery : Wire.t Network.delivery) =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~net ~config ~rng ~node ?observer ?metrics () =
+let create ~net ~config ~rng ~node ?caps ?observer ?metrics () =
   (match Config.validate config with
    | Ok () -> ()
    | Error msg ->
@@ -714,6 +742,7 @@ let create ~net ~config ~rng ~node ?observer ?metrics () =
     {
       net;
       sim = Network.sim net;
+      caps = (match caps with Some c -> c | None -> netsim_caps net);
       config;
       rng;
       node;
@@ -769,7 +798,7 @@ let create ~net ~config ~rng ~node ?observer ?metrics () =
 
 let send_session t =
   if t.next_seq > 0 then
-    Network.ip_multicast_lossy t.net ~cls:"session" ~src:t.node
+    t.caps.cap_multicast_lossy ~cls:"session" ~src:t.node
       (Wire_arena.session t.arena ~max_seq:(t.next_seq - 1))
 
 (* a sender starts advertising its highest sequence number once it has
@@ -800,13 +829,13 @@ let own_send_bookkeeping t payload =
 let multicast t ?size () =
   let payload = fresh_payload t ~size in
   own_send_bookkeeping t payload;
-  Network.ip_multicast_lossy t.net ~cls:"data" ~src:t.node (Wire_arena.data t.arena payload);
+  t.caps.cap_multicast_lossy ~cls:"data" ~src:t.node (Wire_arena.data t.arena payload);
   Payload.id payload
 
 let multicast_reaching t ?size ~reach () =
   let payload = fresh_payload t ~size in
   own_send_bookkeeping t payload;
-  Network.ip_multicast t.net ~cls:"data" ~src:t.node ~reach (Wire_arena.data t.arena payload);
+  t.caps.cap_multicast ~cls:"data" ~src:t.node ~reach (Wire_arena.data t.arena payload);
   Payload.id payload
 
 (* ------------------------------------------------------------------ *)

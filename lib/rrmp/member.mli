@@ -23,17 +23,44 @@
 
 type t
 
+(** The member's I/O capabilities: a clock read plus the four send
+    primitives the protocol uses. Everything a member does to the
+    outside world flows through this record, so the identical state
+    machine runs against the deterministic sim (the default,
+    {!netsim_caps}) or a real transport (lib/net builds socket-backed
+    closures around the codec). The closures are fully applied at each
+    call site and built once at creation: the indirection allocates
+    nothing on the hot paths. *)
+type caps = {
+  cap_now : unit -> float;  (** current time, ms *)
+  cap_unicast : cls:string -> src:Node_id.t -> dst:Node_id.t -> Wire.t -> unit;
+  cap_regional : cls:string -> src:Node_id.t -> region:Region_id.t -> Wire.t -> unit;
+  cap_multicast : cls:string -> src:Node_id.t -> reach:(Node_id.t -> bool) -> Wire.t -> unit;
+  cap_multicast_lossy : cls:string -> src:Node_id.t -> Wire.t -> unit;
+}
+
+val netsim_caps : Wire.t Netsim.Network.t -> caps
+(** The default capabilities: sim clock and the network's delivery
+    primitives, exactly the pre-capability behaviour (seeded runs are
+    byte-identical either way). *)
+
 val create :
   net:Wire.t Netsim.Network.t ->
   config:Config.t ->
   rng:Engine.Rng.t ->
   node:Node_id.t ->
+  ?caps:caps ->
   ?observer:Events.observer ->
   ?metrics:Tracing.Metrics.t ->
   unit ->
   t
 (** Registers the member's handler on [net]. [rng] should be a
     {!Engine.Rng.split} of the experiment generator, one per member.
+
+    [caps] (default {!netsim_caps}[ net]) overrides where sends and
+    clock reads go; [net] still provides the topology view, the timer
+    {!Engine.Sim.t} and registration, so a transport harness passes a
+    quiet network whose sim it advances itself.
 
     Without [observer], no {!Events.t} value is ever constructed: every
     emission site is gated on the subscription, so the delivery and

@@ -22,7 +22,12 @@ let make ?(size = 1024) id =
   done;
   { id; body }
 
+(* a decoded body arriving off the wire: shares the caller's slice *)
+let of_slice id body = { id; body }
+
 let id t = t.id
+
+let body t = t.body
 
 let size t = Bigarray.Array1.dim t.body
 

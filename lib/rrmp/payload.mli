@@ -12,11 +12,27 @@
 
 type t
 
+type body = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The off-heap storage a payload's bytes live in. *)
+
 val make : ?size:int -> Protocol.Msg_id.t -> t
 (** Default size 1024 bytes. @raise Invalid_argument on negative
     size. *)
 
+val of_slice : Protocol.Msg_id.t -> body -> t
+(** Wrap an existing slice as a payload body without copying — how
+    {!Codec} materializes decoded frames. The payload shares the
+    caller's storage: hand over a fresh copy (or a slice nothing else
+    will overwrite) if the payload may be retained, and note that
+    {!intact} only holds if the bytes carry {!make}'s id-derived
+    pattern end to end. *)
+
 val id : t -> Protocol.Msg_id.t
+
+val body : t -> body
+(** The payload's own slice (shared, not a copy): the encoder blits
+    bodies straight from here onto the wire. Treat as read-only —
+    bodies are write-once by contract. *)
 
 val size : t -> int
 (** Body length in bytes. *)

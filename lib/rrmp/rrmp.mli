@@ -11,6 +11,7 @@
 module Config = Config
 module Payload = Payload
 module Wire = Wire
+module Codec = Codec
 module Wire_arena = Wire_arena
 module Buffer = Buffer
 module Long_term = Long_term

@@ -18,7 +18,11 @@ let control = 64
 let bytes = function
   | Data p | Repair p | Regional_repair p -> header + Payload.size p
   | Handoff payloads ->
-    List.fold_left (fun acc p -> acc + Payload.size p) header payloads
+    (* 24 bytes of per-entry framing (id + body length) plus the body:
+       the batch shares one packet header but each transferred message
+       still has to carry its identity on the wire. Codec.encode
+       produces exactly this layout. *)
+    List.fold_left (fun acc p -> acc + 24 + Payload.size p) header payloads
   | History digest ->
     (* 16 bytes per source entry (address + horizon) plus 8 per listed
        missing seq: the per-source missing lists are real wire payload,

@@ -27,10 +27,14 @@ type t =
       (** heartbeat table of the gossip-style failure detector *)
 
 val bytes : t -> int
-(** Approximate wire size: payload-carrying messages cost a 32-byte
-    header plus the payload; control messages cost 64 bytes, plus 16
-    per digest/gossip entry and, for [History], 8 per missing sequence
-    number listed under a source. Used by the bandwidth model. *)
+(** Exact wire size: payload-carrying messages cost a 32-byte header
+    plus the payload; [Handoff] batches add 24 bytes of per-entry
+    framing (entry id + body length) per transferred message; control
+    messages cost 64 bytes, plus 16 per digest/gossip entry and, for
+    [History], 8 per missing sequence number listed under a source.
+    Used by the bandwidth model, and kept reconciled with the binary
+    format: [Codec.encoded_size msg = bytes msg] for every
+    constructor (asserted per-constructor by the codec tests). *)
 
 val cls : t -> string
 (** Traffic class for network accounting: "data", "session",

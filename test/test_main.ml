@@ -18,6 +18,8 @@ let () =
          Test_shard.suites;
          Test_properties.suites;
          Test_wire_arena.suites;
+         Test_codec.suites;
+         Test_net.suites;
          Test_alloc_gates.suites;
          Test_edge_cases.suites;
          Test_misc.suites;

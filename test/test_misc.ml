@@ -36,14 +36,15 @@ let test_wire_bytes () =
   Alcotest.(check int) "data = header + payload" 1032 (Wire.bytes (Wire.Data payload));
   Alcotest.(check int) "repair same" 1032 (Wire.bytes (Wire.Repair payload));
   Alcotest.(check int) "control small" 64 (Wire.bytes (Wire.Have (mid 0)));
-  (* handoff: one 32-byte batch header plus the exact sum of the
-     payload sizes — the header must be charged once, not per entry *)
-  Alcotest.(check int) "handoff sums payloads" (32 + 2000)
+  (* handoff: one 32-byte batch header charged once, plus 24 bytes of
+     per-entry framing (entry id + body length — what Codec.encode
+     actually emits) and the exact sum of the payload sizes *)
+  Alcotest.(check int) "handoff sums payloads" (32 + (2 * 24) + 2000)
     (Wire.bytes (Wire.Handoff [ payload; payload ]));
   Alcotest.(check int) "empty handoff is bare header" 32 (Wire.bytes (Wire.Handoff []));
-  Alcotest.(check int) "single-entry handoff" (32 + 1000)
+  Alcotest.(check int) "single-entry handoff" (32 + 24 + 1000)
     (Wire.bytes (Wire.Handoff [ payload ]));
-  Alcotest.(check int) "handoff with mixed sizes" (32 + 1000 + 16)
+  Alcotest.(check int) "handoff with mixed sizes" (32 + (2 * 24) + 1000 + 16)
     (Wire.bytes (Wire.Handoff [ payload; Payload.make ~size:16 (mid 1) ]));
   Alcotest.(check int) "empty gossip is bare control" 64 (Wire.bytes (Wire.Gossip []));
   Alcotest.(check int) "single-entry gossip" (64 + 16)
