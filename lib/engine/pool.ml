@@ -68,7 +68,10 @@ let clamp_workers w = if w < 1 then 1 else if w > 128 then 128 else w
 (* the process-wide -j / REPRO_JOBS setting (main domain only) *)
 let jobs_setting = ref None
 
-let default_workers () =
+let[@lint.allow
+     "P jobs_setting is a main-domain-only process setting (see the \
+      .mli contract); workers never call default_workers"] default_workers
+    () =
   match !jobs_setting with
   | Some j -> j
   | None ->
@@ -144,7 +147,10 @@ let shutdown t =
 
 let global_pool = ref None
 
-let global () =
+let[@lint.allow
+     "P global_pool is created and swapped from the main domain only \
+      (process-wide setting per the .mli); tasks never reach global"] global
+    () =
   let want = default_workers () in
   match !global_pool with
   | Some p when p.total = want -> p

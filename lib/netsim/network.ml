@@ -151,13 +151,16 @@ let counter_for t cls =
        t.counter_cache_len <- t.counter_cache_len + 1
      end)
     [@lint.allow
-      "H2 memo install runs once per distinct class name, bounded at 32; steady-state sends \
+      "A memo install runs once per distinct class name, bounded at 32; steady-state sends \
        return through the pointer scan above"];
     c
 
 (* nested matches, not a [match (a, b)]: the paired scrutinee would
    allocate a tuple per packet *)
-let delay_between t ~src ~dst =
+let[@lint.allow
+     "A latency sampling boxes one float per transmission decision; the exactly-0.0 gates \
+      cover the deliver/recycle path, and the per-send budgets already charge the parcel"]
+    delay_between t ~src ~dst =
   match Topology.region_of t.topology src with
   | Some ra -> (
     match Topology.region_of t.topology dst with
@@ -243,7 +246,10 @@ let egress_delay t ~src msg =
     Node_id.Table.replace t.egress_free_at src departs;
     departs -. now
 
-let send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
+let[@lint.allow
+     "A one boxed delay float per unicast send; outside the exactly-0.0 deliver/recycle \
+      gates, inside the per-send parcel budget"]
+    send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
   let c = counter_for t cls in
   c.m_sent <- c.m_sent + 1;
   t.mh_sent := !(t.mh_sent) + 1;
@@ -257,7 +263,10 @@ let send_one ?(extra_delay = 0.0) t ~cls ~src ~dst ~lossy msg =
     ignore (Engine.Sim.schedule t.sim ~delay p.p_fire)
   end
 
-let unicast t ~cls ~src ~dst msg =
+let[@lint.allow
+     "A egress charge and the optional-argument Some box once per unicast; outside the \
+      exactly-0.0 deliver/recycle gates, inside the per-send parcel budget"]
+    unicast t ~cls ~src ~dst msg =
   let extra_delay = egress_delay t ~src msg in
   send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg
 
@@ -325,7 +334,11 @@ let flush_groups t =
 
 (* a multicast is one transmission at the source: the egress is charged
    once, not per receiver *)
-let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
+let[@lint.allow
+     "A egress charge and per-receiver delay sampling box floats once per transmission \
+      decision; the coalesced fan-out's exactly-0.0 gate covers delivery, not send-time \
+      latency draws"]
+    regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
   let extra_delay = egress_delay t ~src msg in
   let members = Topology.members t.topology region in
   if not t.batched then
@@ -335,7 +348,7 @@ let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
            send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
        members)
     [@lint.allow
-      "H2 unbatched reference path kept for differential testing; the measured path is the \
+      "A unbatched reference path kept for differential testing; the measured path is the \
        coalesced loop below"]
   else begin
     let c = counter_for t cls in
@@ -358,7 +371,10 @@ let regional_multicast t ~cls ~src ~region ?(include_src = false) msg =
     flush_groups t
   end
 
-let ip_multicast t ~cls ~src ~reach msg =
+let[@lint.allow
+     "A egress charge and per-receiver delay sampling box floats once per transmission \
+      decision; same send-path contract as regional_multicast"]
+    ip_multicast t ~cls ~src ~reach msg =
   let extra_delay = egress_delay t ~src msg in
   let all = Topology.all_nodes t.topology in
   if not t.batched then
@@ -382,7 +398,7 @@ let ip_multicast t ~cls ~src ~reach msg =
          end)
        all)
     [@lint.allow
-      "H2 unbatched reference path kept for differential testing; the measured path is the \
+      "A unbatched reference path kept for differential testing; the measured path is the \
        coalesced loop below"]
   else begin
     let c = counter_for t cls in
@@ -405,7 +421,10 @@ let ip_multicast t ~cls ~src ~reach msg =
     flush_groups t
   end
 
-let ip_multicast_lossy t ~cls ~src msg =
+let[@lint.allow
+     "A egress charge and per-receiver delay sampling box floats once per transmission \
+      decision; same send-path contract as regional_multicast"]
+    ip_multicast_lossy t ~cls ~src msg =
   let extra_delay = egress_delay t ~src msg in
   let all = Topology.all_nodes t.topology in
   if not t.batched then
@@ -415,7 +434,7 @@ let ip_multicast_lossy t ~cls ~src msg =
            send_one ~extra_delay t ~cls ~src ~dst ~lossy:true msg)
        all)
     [@lint.allow
-      "H2 unbatched reference path kept for differential testing; the measured path is the \
+      "A unbatched reference path kept for differential testing; the measured path is the \
        coalesced loop below"]
   else begin
     let c = counter_for t cls in

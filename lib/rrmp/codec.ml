@@ -346,7 +346,7 @@ let rec valid_gossip b cursor n =
   else if get_u64 b cursor < 0 || get_u64 b (cursor + 8) < 0 then false
   else valid_gossip b (cursor + 16) (n - 1)
 
-let read d b ~off ~len =
+let[@lint.never_raise] read d b ~off ~len =
   d.d_ok <- false;
   if off < 0 || len < 0 || off + len > Bigarray.Array1.dim b then Err Truncated
   else if len < header_bytes then Err Truncated
@@ -437,7 +437,7 @@ let rec missing_entries b cursor n acc =
   if n = 0 then List.rev acc else missing_entries b (cursor + 8) (n - 1) (get_u64 b cursor :: acc)
 
 let[@lint.allow
-     "H2 materializing a History frame builds the caller-owned digest list; the gated hot paths \
+     "A materializing a History frame builds the caller-owned digest list; the gated hot paths \
       are encode and read, and a transport drains control frames without calling view in its \
       steady state"] rec history_entries b cursor n acc =
   if n = 0 then List.rev acc
@@ -450,7 +450,7 @@ let[@lint.allow
     history_entries b (cursor + 16 + (8 * nmissing)) (n - 1) (entry :: acc)
 
 let[@lint.allow
-     "H2 materializing a Gossip frame builds the caller-owned heartbeat table; off the gated \
+     "A materializing a Gossip frame builds the caller-owned heartbeat table; off the gated \
       encode/read paths for the same reason as history_entries"] rec gossip_entries b cursor n acc =
   if n = 0 then List.rev acc
   else

@@ -161,8 +161,11 @@ let[@inline] bit_set bytes k =
   Bytes.unsafe_set bytes b
     (Char.unsafe_chr (Char.code (Bytes.unsafe_get bytes b) lor (1 lsl (k land 7))))
 
-let received t m seq =
-  check t m seq;
+let[@lint.never_raise] received t m seq =
+  (check t m seq)
+  [@lint.allow
+    "E argument-validation guard: raises only on a caller bug (handle or seq out of \
+     range), never on wire input"];
   bit_get t.recv (key t m seq)
 
 (* unreceived seqs in (horizon, upto], ascending, become detected
@@ -177,8 +180,11 @@ let fresh_gaps t m ~upto =
     end
   done
 
-let note_data t m seq =
-  check t m seq;
+let[@lint.never_raise] note_data t m seq =
+  (check t m seq)
+  [@lint.allow
+    "E argument-validation guard: raises only on a caller bug (handle or seq out of \
+     range), never on wire input"];
   let k = key t m seq in
   if bit_get t.recv k then false
   else begin
@@ -191,15 +197,21 @@ let note_data t m seq =
     true
   end
 
-let note_session t m ~max_seq =
-  check t m max_seq;
+let[@lint.never_raise] note_session t m ~max_seq =
+  (check t m max_seq)
+  [@lint.allow
+    "E argument-validation guard: raises only on a caller bug (handle or seq out of \
+     range), never on wire input"];
   if max_seq > t.horizon.(m) then begin
     fresh_gaps t m ~upto:max_seq;
     t.horizon.(m) <- max_seq
   end
 
-let note_repaired t m seq =
-  check t m seq;
+let[@lint.never_raise] note_repaired t m seq =
+  (check t m seq)
+  [@lint.allow
+    "E argument-validation guard: raises only on a caller bug (handle or seq out of \
+     range), never on wire input"];
   let k = key t m seq in
   if bit_get t.recv k then false
   else begin

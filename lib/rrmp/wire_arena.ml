@@ -32,15 +32,18 @@ type t = {
 
 (* process-wide kill switch, the Pool.default_workers / REPRO_SHARDS
    convention: harnesses flip it to compare whole experiment registries
-   with the arena on and off without threading a config everywhere *)
-let default_enabled_ref = ref true
+   with the arena on and off without threading a config everywhere.
+   Atomic because [create] runs on pool workers (sharded runs build
+   their member state inside Pool.parallel_for) while a harness on the
+   main domain may flip the switch between registries. *)
+let default_enabled_atomic = Atomic.make true
 
-let set_default_enabled b = default_enabled_ref := b
+let set_default_enabled b = Atomic.set default_enabled_atomic b
 
-let default_enabled () = !default_enabled_ref
+let default_enabled () = Atomic.get default_enabled_atomic
 
 let create ?(enabled = true) ~origin () =
-  let enabled = enabled && !default_enabled_ref in
+  let enabled = enabled && Atomic.get default_enabled_atomic in
   {
     enabled;
     origin;

@@ -1,0 +1,40 @@
+(* A fixture: typed allocation rules on a gated module — boxed float
+   returns (A-float), capturing closures in loops (A-closure), generic
+   bigarray parameters (A-bigarray), Some/tuple construction and
+   option-boxing lookups (A-box), plus an audited suppression. *)
+
+(* big enough that the analyzer's inline-size heuristic treats the
+   boxed float return as real (tiny accessors are exempt) *)
+let mean a b =
+  let lo = if a < b then a else b in
+  let hi = if a < b then b else a in
+  let span = hi -. lo in
+  let mid = lo +. (span /. 2.0) in
+  if span < 0.0 then lo else mid
+
+let use_mean x =
+  let m = mean x 1.0 in
+  m +. 1.0
+
+let hot_loop arr =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length arr - 1 do
+    let f = fun () -> arr.(i) +. !acc in
+    acc := f ()
+  done;
+  !acc
+
+let generic_sum (b : ('a, 'b, 'c) Bigarray.Array1.t) n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Bigarray.Array1.get b i
+  done;
+  !s
+
+let boxed v = Some v
+
+let pair a b = (a, b)
+
+let lookup l k = List.assoc_opt k l
+
+let audited v = (Some v) [@lint.allow "A fixture: cold path by contract"]

@@ -1,0 +1,5 @@
+(* call-graph fixture, leaf unit: one safe def, one raising def *)
+
+let helper x = x + 1
+
+let risky () = failwith "leaf"

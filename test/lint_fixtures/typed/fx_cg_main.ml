@@ -1,0 +1,5 @@
+(* call-graph fixture, root unit: cross-unit edges into fx_cg_leaf *)
+
+let use x = Fx_cg_leaf.helper x
+
+let[@lint.never_raise] bad () = Fx_cg_leaf.risky ()

@@ -1,0 +1,31 @@
+(* P fixture: module-level mutable state touched from parallel-task
+   closures. The local [Pool] module suffix-matches the configured
+   [Pool.parallel_for] root, so the fixture needs no engine deps. *)
+
+module Pool = struct
+  let parallel_for n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+end
+
+let hits = ref 0
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let safe = Atomic.make 0
+
+let bump () = incr hits
+
+let run () =
+  Pool.parallel_for 4 (fun i ->
+      bump ();
+      hits := !hits + 1;
+      Hashtbl.replace table i i;
+      Atomic.incr safe)
+
+let audited () =
+  Pool.parallel_for 2 (fun _ ->
+      (incr hits) [@lint.allow "P fixture: single-writer by construction"])
+
+let untouched () = incr hits

@@ -1,0 +1,23 @@
+(* E fixture: [@lint.never_raise] enforcement — direct raises,
+   transitive raises through the call graph, refutable patterns, and
+   the two clearing constructs (try, match-with-exception arm) plus an
+   audited suppression. *)
+
+let[@lint.never_raise] safe_find tbl k =
+  match Hashtbl.find tbl k with
+  | v -> Some v
+  | exception Not_found -> None
+
+let lookup tbl k = Hashtbl.find tbl k
+
+let[@lint.never_raise] bad tbl k = lookup tbl k
+
+let[@lint.never_raise] guarded tbl k = try lookup tbl k with Not_found -> 0
+
+let[@lint.never_raise] partial_get = function Some x -> x
+
+let[@lint.never_raise] audited_raise x =
+  if x < 0 then (failwith "negative") [@lint.allow "E fixture: caller checks the sign"]
+  else x
+
+let plain_raise () = invalid_arg "fx"

@@ -134,6 +134,28 @@ let with_arena enabled f =
   Arena.set_default_enabled enabled;
   Fun.protect ~finally:(fun () -> Arena.set_default_enabled saved) f
 
+(* regression for the typed-lint P finding: the kill switch used to be
+   a plain bool ref sampled by [create], which runs on pool worker
+   domains when sharded runs build their member state in parallel — it
+   is Atomic.t now, and a flip on the main domain must be visible to
+   arenas created inside worker tasks. Interning is observable as
+   physical equality of a re-fetch, so each task reports whether its
+   arena came up disabled. *)
+let test_kill_switch_reaches_workers () =
+  with_arena false (fun () ->
+    let pool = Engine.Pool.create ~workers:2 () in
+    Fun.protect
+      ~finally:(fun () -> Engine.Pool.shutdown pool)
+      (fun () ->
+        let n = 16 in
+        let disabled = Array.make n false in
+        Engine.Pool.parallel_for pool ~n (fun i ->
+            let t = Arena.create ~origin () in
+            let p = Payload.make ~size:8 (mid i) in
+            disabled.(i) <- not (Arena.data t p == Arena.data t p));
+        Alcotest.(check bool) "every worker-created arena saw the flip" true
+          (Array.for_all Fun.id disabled)))
+
 let render report = Format.asprintf "%a" Experiments.Report.pp report
 
 (* Acceptance gate (the arena analogue of the -j and --shards gates):
@@ -156,6 +178,8 @@ let suites =
       @ [
           Alcotest.test_case "session cell caches the latest advertisement" `Quick
             test_session_cache;
+          Alcotest.test_case "kill switch is atomic across worker domains" `Quick
+            test_kill_switch_reaches_workers;
           Alcotest.test_case "registry reports identical with arena on/off" `Slow
             test_registry_reports_arena_invariant;
         ] );

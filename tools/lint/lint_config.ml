@@ -22,6 +22,13 @@ type t = {
   h2_files : string list;  (* modules with an exactly-0.0 words/op gate *)
   m1_dirs : string list;
   m1_exempt : string list;
+  (* typed (cmt) pass *)
+  typed_dirs : string list;  (* directories searched for .cmt input *)
+  p_roots : string list;
+      (* callees whose function arguments become parallel-task roots:
+         closures handed to these may run on a pool worker domain *)
+  p_dirs : string list;  (* where P findings are reported ([""] = everywhere) *)
+  a_files : string list;  (* modules under the typed allocation rules *)
 }
 
 let default =
@@ -39,6 +46,10 @@ let default =
     h2_files = [];
     m1_dirs = [ "lib" ];
     m1_exempt = [];
+    typed_dirs = [ "lib" ];
+    p_roots = [];
+    p_dirs = [ "lib" ];
+    a_files = [];
   }
 
 exception Bad_config of string
@@ -114,6 +125,10 @@ let load path =
               | "h2", "files" -> { c with h2_files = v }
               | "m1", "dirs" -> { c with m1_dirs = v }
               | "m1", "exempt" -> { c with m1_exempt = v }
+              | "typed", "dirs" -> { c with typed_dirs = v }
+              | "p", "roots" -> { c with p_roots = v }
+              | "p", "dirs" -> { c with p_dirs = v }
+              | "a", "files" -> { c with a_files = v }
               | s, k -> fail "line %d: unknown setting [%s] %s" !lineno s k)
      done
    with End_of_file -> ());

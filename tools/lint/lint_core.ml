@@ -75,7 +75,10 @@ type report = {
   files_scanned : int;
 }
 
-let known_rules = [ "D1"; "D2"; "D3"; "D4"; "H1"; "H2"; "M1"; "S1" ]
+(* P/E/A belong to the typed (cmt) layer in Lint_typed; they are
+   registered here so S1 accepts their suppressions and both layers
+   share one audit grammar. *)
+let known_rules = [ "D1"; "D2"; "D3"; "D4"; "H1"; "H2"; "M1"; "S1"; "P"; "E"; "A" ]
 
 (* ------------------------------------------------------------------ *)
 (* Path helpers (paths are root-relative, '/'-separated)               *)
@@ -425,6 +428,11 @@ let make_iterator ctx =
   in
   let value_binding it vb =
     collect_allows ctx vb.pvb_attributes ~scope:vb.pvb_loc;
+    (* [let msg [@lint.allow "..."] = e]: written on the enclosing let,
+       but the parser attaches the attribute to the binding *pattern* —
+       honor that placement with the same whole-binding scope, else the
+       suppression silently fails and the site is re-reported *)
+    collect_allows ctx vb.pvb_pat.ppat_attributes ~scope:vb.pvb_loc;
     default_iterator.value_binding it vb
   in
   let structure_item it si =
